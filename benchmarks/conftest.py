@@ -1,0 +1,137 @@
+"""Shared fixtures for the reproduction benches.
+
+Every table and figure bench draws from the same session-scoped synthesis
+artifacts: uPATH results for one representative instruction per functional
+class (exactly how the paper's artifact seeds its Fig. 8 flow), a SynthLC
+classification over those representatives, and the cache-DUV runs.
+
+Scale note: the DUV is the paper's own down-scaled CVA6 configuration
+pushed further (8-bit datapath); benches report paper-scale values next to
+measured values and assert the *shape* relations.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.core import Rtl2MuPath, SynthLC
+from repro.designs import ContextFamilyConfig, CoreContextProvider, build_core
+from repro.designs.cache import CacheContextProvider, build_cache
+from repro.mc import PropertyStats
+from repro.report import CLASS_REPRESENTATIVES
+
+# one representative per functional class (9 classes cover all 72 instrs)
+CLASS_REPS = tuple(CLASS_REPRESENTATIVES.values())
+
+# transmitter representatives: the classes the paper finds transmitting,
+# plus MUL as a should-not-transmit control (fixed-latency baseline unit)
+TRANSMITTER_REPS = ("DIV", "LW", "SW", "BEQ", "JALR", "MUL")
+
+MUPATH_FAMILY = ContextFamilyConfig(
+    horizon=44,
+    neighbors=("DIV", "SW", "BEQ", "LW"),
+    iuv_values=(0, 1, 2, 8, 128, 255),
+    neighbor_values=(0, 1, 2, 255),
+)
+
+# neighbour value 3 lets a slot-0 JALR (target = rs1 + imm5) hit its
+# predicted fall-through target (pc + 4 = 8), so the mispredict flush
+# actually varies with rs1 and survives the differential cross-check
+TAINT_FAMILY = ContextFamilyConfig(
+    horizon=44,
+    neighbors=("DIV", "SW", "BEQ", "LW"),
+    iuv_values=(0, 1, 255),
+    neighbor_values=(0, 1, 3, 255),
+    instrumented=True,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_core():
+    return build_core()
+
+
+@pytest.fixture(scope="session")
+def core_mupath_tool(bench_core):
+    provider = CoreContextProvider(xlen=8, config=MUPATH_FAMILY)
+    return Rtl2MuPath(
+        bench_core, provider, stats=PropertyStats(label="rtl2mupath-core")
+    )
+
+
+@pytest.fixture(scope="session")
+def rep_mupath_results(core_mupath_tool):
+    """uPATH synthesis for every class representative."""
+    return {name: core_mupath_tool.synthesize(name) for name in CLASS_REPS}
+
+
+@pytest.fixture(scope="session")
+def core_synthlc_tool(bench_core):
+    provider = CoreContextProvider(xlen=8, config=TAINT_FAMILY)
+    return SynthLC(bench_core, provider, stats=PropertyStats(label="synthlc-core"))
+
+
+@pytest.fixture(scope="session")
+def core_synthlc_result(core_synthlc_tool, rep_mupath_results):
+    return core_synthlc_tool.classify(
+        rep_mupath_results, transmitters=list(TRANSMITTER_REPS)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_cache():
+    return build_cache()
+
+
+@pytest.fixture(scope="session")
+def cache_mupath_tool(bench_cache):
+    provider = CacheContextProvider(horizon=40)
+    return Rtl2MuPath(
+        bench_cache, provider, stats=PropertyStats(label="rtl2mupath-cache")
+    )
+
+
+@pytest.fixture(scope="session")
+def cache_mupath_results(cache_mupath_tool):
+    return {name: cache_mupath_tool.synthesize(name) for name in ("LD", "ST")}
+
+
+@pytest.fixture(scope="session")
+def cache_synthlc_tool(bench_cache):
+    provider = CacheContextProvider(horizon=40, instrumented=True)
+    return SynthLC(
+        bench_cache, provider, stats=PropertyStats(label="synthlc-cache")
+    )
+
+
+@pytest.fixture(scope="session")
+def cache_synthlc_result(cache_synthlc_tool, cache_mupath_results):
+    return cache_synthlc_tool.classify(
+        cache_mupath_results, transmitters=["LD", "ST"]
+    )
+
+
+def print_banner(title):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(autouse=True)
+def _benchmark_gate(benchmark):
+    """Keep assertion-carrier tests alive under ``--benchmark-only``.
+
+    pytest-benchmark skips any test that does not use the ``benchmark``
+    fixture when ``--benchmark-only`` is given.  Every bench module pairs
+    one timed test with several shape-assertion tests over the same
+    session fixtures; this autouse fixture statically pulls the benchmark
+    fixture into every test and feeds it a no-op measurement when the
+    test body did not register one itself.
+    """
+    yield
+    if benchmark.stats is None:
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

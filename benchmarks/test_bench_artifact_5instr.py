@@ -1,0 +1,91 @@
+"""Artifact experiment 2 bench: the 5-instruction ISA end-to-end flow.
+
+Paper artifact (05-5instn-isa.md): a restricted ISA of ADD, BEQ, LW, SW,
+DIV exercises the full RTL2MuPATH + SynthLC flow and reproduces the
+Fig. 2b/2c and Fig. 4 uPATHs.  The bench runs the same five instructions
+end to end and checks the per-instruction findings of SS VII-A1.
+"""
+
+import pytest
+
+from repro.core import Rtl2MuPath, SynthLC, derive_all_contracts
+from repro.designs import ContextFamilyConfig, CoreContextProvider
+
+from conftest import print_banner
+
+FIVE = ("ADD", "BEQ", "LW", "SW", "DIV")
+
+FAMILY = ContextFamilyConfig(
+    horizon=44,
+    neighbors=FIVE,
+    iuv_values=(0, 1, 2, 8, 128, 255),
+    neighbor_values=(0, 1, 2, 255),
+)
+
+
+@pytest.fixture(scope="module")
+def five_results(bench_core):
+    provider = CoreContextProvider(xlen=8, config=FAMILY)
+    tool = Rtl2MuPath(bench_core, provider)
+    return {name: tool.synthesize(name) for name in FIVE}
+
+
+@pytest.fixture(scope="module")
+def five_synthlc(bench_core, five_results):
+    provider = CoreContextProvider(
+        xlen=8,
+        config=ContextFamilyConfig(
+            horizon=44, neighbors=FIVE,
+            iuv_values=(0, 1, 255), neighbor_values=(0, 1, 2, 255),
+            instrumented=True,
+        ),
+    )
+    tool = SynthLC(bench_core, provider)
+    return tool.classify(five_results, transmitters=list(FIVE))
+
+
+def test_artifact_5instr_all_multi_path(five_results, benchmark):
+    summary = benchmark.pedantic(
+        lambda: {name: (r.num_upaths, len(r.concrete_paths))
+                 for name, r in five_results.items()},
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Artifact exp. 2 -- five-instruction ISA uPATH synthesis")
+    print("%-5s %14s %16s" % ("instr", "uPATH families", "concrete uPATHs"))
+    for name, (families, concrete) in summary.items():
+        print("%-5s %14d %16d" % (name, families, concrete))
+    # every instruction violates the single-execution-path assumption
+    for name, result in five_results.items():
+        assert result.multi_path, name
+
+
+def test_artifact_5instr_transponder_and_transmitter_findings(five_synthlc):
+    result = five_synthlc
+    print_banner("Artifact exp. 2 -- SynthLC findings")
+    print("transponders:", result.transponders)
+    print("intrinsic:", sorted(result.intrinsic_transmitters))
+    print("dynamic:  ", sorted(result.dynamic_transmitters))
+    for signature in result.signatures:
+        print(" ", signature.render())
+
+    # SS VII-A1 headline structure on the restricted ISA:
+    # all five instructions are transponders ...
+    assert set(result.candidate_transponders) == set(FIVE)
+    # ... intrinsic transmitters are DIV / LW / SW (never ADD or BEQ) ...
+    assert "DIV" in result.intrinsic_transmitters
+    assert "ADD" not in result.intrinsic_transmitters
+    assert "BEQ" not in result.intrinsic_transmitters
+    # ... branches and memory ops transmit dynamically ...
+    assert "BEQ" in result.dynamic_transmitters
+    assert "SW" in result.dynamic_transmitters
+    # ... and the core has no static transmitters
+    assert not result.static_transmitters
+
+
+def test_artifact_5instr_contract_derivation(five_synthlc, five_results):
+    contracts = derive_all_contracts(five_synthlc, five_results)
+    print_banner("Artifact exp. 2 -- contracts from the restricted ISA")
+    print(contracts.summary())
+    assert contracts.ct.is_unsafe("DIV", "rs1")
+    assert ("LW", "issue") in contracts.stt.implicit_channels

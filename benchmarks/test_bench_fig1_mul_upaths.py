@@ -1,0 +1,85 @@
+"""Fig. 1 bench: two MUL uPATHs on CVA6-MUL plus the leakage signature.
+
+Paper: a MUL on CVA6-MUL spends 1 cycle in the multiplication unit with a
+zero operand, else 4 -- two distinct uPATHs -- and the synthesized leakage
+signature defines that variability as a function of the MUL's own operands
+(it is its own transponder) following its mulU visit.
+"""
+
+import pytest
+
+from repro.core import Rtl2MuPath, SynthLC, UhbGraph
+from repro.designs import ContextFamilyConfig, CoreContextProvider
+from repro.designs.variants import build_cva6_mul
+
+from conftest import print_banner
+
+FAMILY = ContextFamilyConfig(
+    horizon=40,
+    neighbors=("ADD",),
+    iuv_values=(0, 1, 5, 255),
+    neighbor_values=(0, 1),
+)
+
+
+@pytest.fixture(scope="module")
+def mul_result():
+    design = build_cva6_mul()
+    provider = CoreContextProvider(xlen=8, config=FAMILY)
+    tool = Rtl2MuPath(design, provider)
+    return design, tool.synthesize("MUL")
+
+
+def test_fig1_mul_upath_variability(mul_result, benchmark):
+    design, result = mul_result
+
+    def regenerate():
+        provider = CoreContextProvider(xlen=8, config=FAMILY)
+        return Rtl2MuPath(design, provider).synthesize("MUL")
+
+    fresh = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    residencies = sorted(fresh.run_lengths.get("mulU", ()))
+    print_banner("Fig. 1 -- MUL uPATHs on CVA6-MUL (zero-skip multiply)")
+    print("paper:    mulU occupancy 1 cycle (zero operand) or 4 cycles")
+    print("measured: mulU occupancy cycles =", residencies)
+    by_residency = {}
+    for path in fresh.concrete_paths:
+        r = sum(1 for v in path.visits if "mulU" in v)
+        if r:
+            by_residency.setdefault(r, path)
+    for r in sorted(by_residency):
+        print()
+        print(UhbGraph(by_residency[r]).render_ascii(title="uPATH with %d-cycle mulU" % r))
+
+    assert residencies == [1, 4]
+    assert fresh.multi_path
+    assert "mulU" in fresh.decisions.sources or "scbIss" in fresh.decisions.sources
+
+
+def test_fig1_leakage_signature(mul_result):
+    design, result = mul_result
+    provider = CoreContextProvider(
+        xlen=8,
+        config=ContextFamilyConfig(
+            horizon=40, neighbors=("ADD",),
+            iuv_values=(0, 1, 5, 255), neighbor_values=(0, 1),
+            instrumented=True,
+        ),
+    )
+    synthlc = SynthLC(design, provider)
+    classification = synthlc.classify({"MUL": result}, transmitters=["MUL"])
+
+    print_banner("Fig. 1 -- leakage signature for the MUL transponder")
+    print("paper:    MUL_mulU(MUL^N ...): intrinsic transmitter, operand-dependent")
+    for signature in classification.signatures:
+        print("measured:", signature.render())
+
+    assert "MUL" in classification.intrinsic_transmitters
+    mul_sigs = classification.signatures_for("MUL")
+    assert any(
+        tag.ttype == "intrinsic"
+        for s in mul_sigs
+        for tag in s.inputs
+        if not tag.false_positive
+    )

@@ -1,0 +1,91 @@
+"""Fig. 4 bench: sample uPATHs for BEQ / LD (core) and ST (cache).
+
+Paper shapes:
+* Fig. 4a: BEQ commits or squashes younger work; its own path reaches
+  scbCmt/scbExcp.
+* Fig. 4b: a LD completes via {ldFin} or stalls via {LSQ, ldStall} on a
+  page-offset match with an older store; the stall path is several cycles
+  longer (5 vs 9 at paper scale).
+* Fig. 4c: a ST in the cache touches a data bank only on a hit.
+"""
+
+import pytest
+
+from repro.core import UhbGraph
+
+from conftest import print_banner
+
+
+def test_fig4b_load_upaths(rep_mupath_results, benchmark):
+    result = rep_mupath_results["LW"]
+
+    def analyze():
+        fast = [p for p in result.concrete_paths if "ldFin" in p.pl_set and "ldStall" not in p.pl_set]
+        slow = [p for p in result.concrete_paths if "ldStall" in p.pl_set]
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    assert fast and slow
+    fast_latency = min(p.latency for p in fast)
+    slow_latency = max(p.latency for p in slow)
+
+    print_banner("Fig. 4b -- LD uPATHs (store-to-load page-offset stalling)")
+    print("paper:    fast path 5 cycles, stall path 9 cycles (shape: stall >> fast)")
+    print("measured: fast %d cycles, longest stall %d cycles" % (fast_latency, slow_latency))
+    print()
+    print(UhbGraph(min(fast, key=lambda p: p.latency)).render_ascii(title="LD fast path"))
+    print()
+    print(UhbGraph(max(slow, key=lambda p: p.latency)).render_ascii(title="LD stall path"))
+
+    assert slow_latency >= fast_latency + 3
+    destinations = set(result.decisions.destinations("issue"))
+    assert any("ldFin" in d for d in destinations)
+    assert any({"LSQ", "ldStall"} <= set(d) for d in destinations)
+
+
+def test_fig4a_branch_upaths(rep_mupath_results):
+    result = rep_mupath_results["BEQ"]
+    print_banner("Fig. 4a -- BEQ uPATHs")
+    sets = {frozenset(u.pl_set) for u in result.upaths}
+    for s in sorted(sets, key=sorted):
+        print("  uPATH PL set:", sorted(s))
+    # On the buggy core BEQ's target (pc + rs2-field = pc + 2) is always
+    # 4-byte misaligned, and bug 3 raises the misaligned exception
+    # REGARDLESS of the branch outcome -- so every complete BEQ execution
+    # ends at scbExcp and the commit arm is genuinely unreachable.  This is
+    # SS VII-B2's finding surfacing straight from the uPATH set.
+    assert any("scbExcp" in s for s in sets)
+    assert not any("scbCmt" in s for s in sets)
+    # squash arms exist (BEQ flushed by an older control transfer)
+    assert any("scbExcp" not in s and "scbFin" not in s for s in sets)
+
+
+def test_fig4c_store_upaths_on_cache(cache_mupath_results):
+    result = cache_mupath_results["ST"]
+    print_banner("Fig. 4c -- ST uPATHs on the cache DUV")
+    print("paper:    hit touches {wRTag, wr$[way/2]}, miss only {wRTag}")
+    for upath in result.upaths:
+        print("  measured PL set:", sorted(upath.pl_set))
+    sets = {frozenset(u.pl_set) for u in result.upaths}
+    assert any(any(pl.startswith("wrBank") for pl in s) for s in sets)
+    assert any(not any(pl.startswith("wrBank") for pl in s) for s in sets)
+    destinations = set(result.decisions.destinations("wBVld"))
+    assert frozenset({"wRTag"}) in destinations
+    assert any("wrBank0" in d or "wrBank1" in d for d in destinations)
+
+
+def test_fig4_nonconsecutive_revisit_cache_only(rep_mupath_results, cache_mupath_results):
+    """SS VII-A2 (ii): non-consecutive revisits exist in the cache DUV only."""
+    core_kinds = set()
+    for result in rep_mupath_results.values():
+        for upath in result.upaths:
+            core_kinds.update(upath.revisit.values())
+    cache_kinds = set()
+    for result in cache_mupath_results.values():
+        for upath in result.upaths:
+            cache_kinds.update(upath.revisit.values())
+    print_banner("SS VII-A2 -- revisit behaviour")
+    print("core revisit kinds:  ", sorted(core_kinds))
+    print("cache revisit kinds: ", sorted(cache_kinds))
+    assert "nonconsecutive" not in core_kinds and "both" not in core_kinds
+    assert "nonconsecutive" in cache_kinds or "both" in cache_kinds

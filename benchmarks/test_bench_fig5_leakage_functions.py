@@ -1,0 +1,107 @@
+"""Fig. 5 bench: the four example leakage functions.
+
+Paper's Fig. 5 lists four leakage functions; we regenerate each as a
+synthesized leakage signature:
+
+* ``ADD_ID``    on CVA6-OP  -- packing decision (intrinsic + dynamic ADDs);
+* ``LD_issue``  on the core -- store-to-load stall (LD^N, ST^D_O);
+* ``ST_wBVld``  on the cache -- bank write on hit (ST^N, LD^S);
+* ``ST_comSTB`` on the core -- drain stall behind a younger load (LD^D_Y),
+  the channel this paper is first to report.
+"""
+
+import pytest
+
+from repro.core import Rtl2MuPath, SynthLC
+from repro.designs import ContextFamilyConfig, CoreContextProvider
+
+from conftest import print_banner
+
+
+def _true_inputs(signature):
+    return {(t.transmitter, t.ttype, t.operand)
+            for t in signature.inputs if not t.false_positive}
+
+
+def _signature(result, name):
+    matches = [s for s in result.signatures if s.name == name]
+    assert matches, "missing signature %s; have %s" % (
+        name, sorted(s.name for s in result.signatures))
+    return matches[0]
+
+
+def test_fig5_ld_issue(core_synthlc_result, benchmark):
+    signature = benchmark.pedantic(
+        lambda: _signature(core_synthlc_result, "LW_issue"), rounds=1, iterations=1
+    )
+    print_banner("Fig. 5 -- LD_issue (store-to-load stalling)")
+    print("paper:    dst LD_issue(LD^N i0, ST^D_O i1) -> {ldStall, LSQ} | {ldFin}")
+    print("measured:", signature.render())
+    inputs = _true_inputs(signature)
+    assert ("SW", "dynamic_older", "rs1") in inputs
+    destinations = [set(d) for d in signature.destinations]
+    assert any({"LSQ", "ldStall"} <= d for d in destinations)
+    assert any("ldFin" in d for d in destinations)
+
+
+def test_fig5_st_comstb_novel_channel(core_synthlc_result):
+    signature = _signature(core_synthlc_result, "SW_comSTB")
+    print_banner("Fig. 5 -- ST_comSTB (the paper's new channel, SS VII-A1)")
+    print("paper:    dst ST_comSTB(SW^N i0, LD^D_Y i1) -> {memRq, comSTB} | {comSTB}")
+    print("measured:", signature.render())
+    inputs = _true_inputs(signature)
+    assert ("LW", "dynamic_younger", "rs1") in inputs
+    destinations = [set(d) for d in signature.destinations]
+    assert any("memRq" in d for d in destinations)
+    assert {"comSTB"} in destinations
+
+
+def test_fig5_st_wbvld_on_cache(cache_synthlc_result):
+    signature = _signature(cache_synthlc_result, "ST_wBVld")
+    print_banner("Fig. 5 -- ST_wBVld (cache bank write on hit)")
+    print("paper:    dst ST_wBVld(ST^N i0, LD^S i1) -> {wRTag, wr$[way/2]} | {wRTag}")
+    print("measured:", signature.render())
+    inputs = _true_inputs(signature)
+    assert ("ST", "intrinsic", "rs1") in inputs
+    assert ("LD", "static", "rs1") in inputs
+    # no ST^S: the cache is no-write-allocate, stores never create hits
+    assert not any(t == ("ST", "static", "rs1") for t in inputs)
+
+
+def test_fig5_add_id_on_cva6op():
+    design_family = ContextFamilyConfig(
+        horizon=16, neighbors=(), include_preceding=False,
+        include_following=False, include_deep=False,
+        iuv_values=(0, 1), neighbor_values=(0,),
+    )
+    # CVA6-OP needs its own driver; synthesize directly from concrete runs
+    from repro.core.decisions import extract_decisions
+    from repro.core.mhb import extract_path
+    from repro.designs import isa
+    from repro.designs.variants import build_cva6_op, oppack_driver_factory
+    from repro.sim import Simulator
+
+    design = build_cva6_op()
+    sim = Simulator(design.netlist)
+    paths = []
+    add0 = isa.encode("ADD", rd=3, rs1=1, rs2=2)
+    add1 = isa.encode("ADD", rd=6, rs1=4, rs2=5)
+    for w4 in (2, 0xC8):  # narrow (packs) vs wide (stalls)
+        sim.reset({"arf_w1": 3, "arf_w2": 5, "arf_w4": w4, "arf_w5": 7})
+        driver = oppack_driver_factory([(add0, add1)])()
+        prev = None
+        cycles = []
+        for t in range(12):
+            prev = sim.step(driver(t, prev))
+            cycles.append(prev)
+        paths.append(extract_path(cycles, design.metadata.pls, iuv_pc=8, iuv="ADD"))
+    decisions = extract_decisions("ADD", paths)
+
+    print_banner("Fig. 5 -- ADD_ID (operand packing on CVA6-OP)")
+    print("paper:    dst ADD_ID(ADD^N i0, ADD^D_O i1) -> {scbIss, issue} | {ID}")
+    for decision in decisions.decisions():
+        print("measured:", decision)
+    assert decisions.sources == ["ID"]
+    destinations = set(decisions.destinations("ID"))
+    assert frozenset({"issue", "scbIss"}) in destinations
+    assert frozenset({"ID"}) in destinations

@@ -1,0 +1,120 @@
+"""Fig. 8 bench: the full transponder x transmitter leakage matrix.
+
+Paper headline (SS I-A, SS VII-A1): SynthLC on the CVA6 core surfaces 94
+unique leakage signatures, 72 transponders (every evaluated instruction),
+and 26 transmitters -- 19 intrinsic (8 div/rem + 7 loads + 4 stores) and
+26 dynamic (the 19 plus 6 branches and JALR), with *no static*
+transmitters (the front-end and its predictors are black-boxed).  A
+handful of signatures carry extraneous inputs from IFT over-taint
+(14/94 at paper scale).
+
+We run SynthLC on one representative per class and extend class-wise (the
+artifact's own seeding strategy), then check every shape claim.
+"""
+
+import pytest
+
+from repro.designs import isa
+from repro.report import build_fig8
+
+from conftest import print_banner
+
+
+@pytest.fixture(scope="module")
+def fig8(core_synthlc_result):
+    return build_fig8(core_synthlc_result, extend_classes=True)
+
+
+def test_fig8_matrix(core_synthlc_result, fig8, benchmark):
+    matrix = benchmark.pedantic(
+        lambda: build_fig8(core_synthlc_result, extend_classes=True),
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Fig. 8 -- leakage-signature matrix (class-extended)")
+    print(matrix.render(max_columns=16))
+    print()
+    rows = [
+        ("transponders", 72, matrix.num_transponders),
+        ("intrinsic transmitters", 19, len(matrix.intrinsic_transmitters)),
+        ("dynamic transmitters", 26, len(matrix.dynamic_transmitters)),
+        ("static transmitters", 0, len(matrix.static_transmitters)),
+        ("unique signatures", 94, matrix.unique_signatures),
+        ("signatures w/ FP inputs", 14, matrix.false_positive_signatures),
+    ]
+    print("%-26s %10s %10s" % ("quantity", "paper", "measured"))
+    for name, paper, measured in rows:
+        print("%-26s %10s %10s" % (name, paper, measured))
+
+
+def test_fig8_all_72_instructions_are_transponders(fig8):
+    assert fig8.num_transponders == 72
+
+
+def test_fig8_intrinsic_transmitters_are_19(fig8):
+    expected = (
+        set(isa.CLASSES["div"]) | set(isa.CLASSES["load"]) | set(isa.CLASSES["store"])
+    )
+    assert set(fig8.intrinsic_transmitters) == expected
+    assert len(fig8.intrinsic_transmitters) == 19
+
+
+def test_fig8_dynamic_transmitters_are_26(fig8):
+    expected = (
+        set(isa.CLASSES["div"])
+        | set(isa.CLASSES["load"])
+        | set(isa.CLASSES["store"])
+        | set(isa.CLASSES["branch"])
+        | {"JALR"}
+    )
+    assert set(fig8.dynamic_transmitters) == expected
+    assert len(fig8.dynamic_transmitters) == 26
+
+
+def test_fig8_no_static_transmitters_on_core(fig8):
+    # SS VII-A1: "the CVA6 core features intrinsic and dynamic transmitters
+    # exclusively" (predictor state lives in the black-boxed front-end)
+    assert len(fig8.static_transmitters) == 0
+
+
+def test_fig8_branches_are_not_intrinsic(fig8):
+    for branch in isa.CLASSES["branch"]:
+        assert branch not in fig8.intrinsic_transmitters
+
+
+def test_fig8_signature_count_scales_toward_94(core_synthlc_result, fig8):
+    # at class granularity (9 representatives vs the paper's 72 per-instr
+    # columns) the signature count lands in the tens; class extension
+    # yields the per-instruction column count, which must exceed the
+    # unique-signature count by the class multiplicities
+    assert core_synthlc_result.signatures
+    assert len(fig8.columns) > fig8.unique_signatures
+
+
+def test_fig8_secondary_leakage_exists(fig8):
+    # SS VII-A1: stall-behind-a-transmitter cells (e.g. an ADD stuck at the
+    # SCB behind a DIV) are secondary leakage
+    kinds = {cell.kind for cell in fig8.cells.values()}
+    assert "secondary" in kinds
+
+
+def test_fig8_false_positives_present_and_quarantined(core_synthlc_result):
+    # SS VII-B1: IFT imprecision yields extraneous explicit inputs (14/94
+    # signatures at paper scale).  Our cell-level IFT is more conservative
+    # than JasperGold-assisted CellIFT (sticky taint in control-hold loops),
+    # so the ratio is higher -- but the differential cross-check quarantines
+    # every such input, and crucially there are no false-positive
+    # *transmitters*: every instruction in the transmitter sets carries at
+    # least one differentially confirmed tag.
+    fp = sum(1 for s in core_synthlc_result.signatures if s.has_false_positive_inputs())
+    total = len(core_synthlc_result.signatures)
+    print("signatures with extraneous inputs: %d/%d (paper: 14/94)" % (fp, total))
+    assert 0 < fp < total
+    confirmed = {
+        tag.transmitter
+        for s in core_synthlc_result.signatures
+        for tag in s.inputs
+        if not tag.false_positive
+    }
+    for ttype, names in core_synthlc_result.transmitters.items():
+        assert set(names) <= confirmed

@@ -1,0 +1,91 @@
+"""Table I bench: deriving the six leakage contracts from signatures.
+
+Paper: uPATHs + leakage signatures suffice to derive the CT contract and
+five bespoke contracts, supporting two software and eight hardware
+defenses.  The bench derives every contract from the representative-class
+SynthLC result and checks the expected content per component.
+"""
+
+import pytest
+
+from repro.core import derive_all_contracts
+from repro.core.contracts import TABLE1_COMPONENTS
+
+from conftest import print_banner
+
+
+@pytest.fixture(scope="module")
+def contracts(core_synthlc_result, rep_mupath_results):
+    return derive_all_contracts(core_synthlc_result, rep_mupath_results)
+
+
+def test_table1_all_contracts_derivable(contracts, core_synthlc_result,
+                                        rep_mupath_results, benchmark):
+    fresh = benchmark.pedantic(
+        lambda: derive_all_contracts(core_synthlc_result, rep_mupath_results),
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Table I -- six leakage contracts derived from signatures")
+    print(fresh.summary())
+    print()
+    print("component -> consumed signature components (Table I mapping):")
+    for component, consumed in sorted(TABLE1_COMPONENTS.items()):
+        print("  %-28s %s" % (component, ", ".join(consumed)))
+
+
+def test_ct_contract_flags_div_load_store_operands(contracts):
+    ct = contracts.ct
+    print_banner("CT contract (enables CT/SCT programming, SpecShield, ConTExt)")
+    print(ct.render())
+    assert ct.is_unsafe("DIV", "rs1")
+    assert ct.is_unsafe("LW", "rs1")
+    assert ct.is_unsafe("SW", "rs1")
+    assert ct.is_unsafe("BEQ", "rs1") and ct.is_unsafe("BEQ", "rs2")
+    assert ct.is_unsafe("JALR", "rs1")
+
+
+def test_mi6_components(contracts):
+    mi6 = contracts.mi6
+    assert mi6.dynamic_channels  # contention channels exist
+    # the core has no static channels (no persistent state in scope)
+    assert not mi6.static_channels
+
+
+def test_oisa_flags_the_divider(contracts):
+    units = {(i, pl) for i, _, pl in contracts.oisa.input_dependent_units}
+    assert ("DIV", "divU") in units
+
+
+def test_stt_components(contracts):
+    stt = contracts.stt
+    assert ("DIV", "divU") in stt.explicit_channels or (
+        "DIV", "scbIss") in stt.explicit_channels
+    assert ("LW", "issue") in stt.implicit_channels
+    assert "LW" in stt.implicit_branches  # the paper's implicit-branch load
+    assert stt.resolution_channels  # dynamic-transmitter-driven
+    assert not stt.prediction_channels  # needs static transmitters
+
+
+def test_sdo_variant_pins_divider_worst_case(contracts):
+    assert "DIV" in contracts.sdo.variants
+    _pls, forced = contracts.sdo.variants["DIV"]
+    assert forced.get("divU", 0) >= 9  # worst-case serial-divide residency
+
+
+def test_dolma_components(contracts):
+    dolma = contracts.dolma
+    print_banner("Dolma contract components")
+    print("variable-time uops:", dolma.variable_time_uops)
+    print("inducive uops:", dolma.inducive_uops)
+    print("resolvent uops:", dolma.resolvent_uops)
+    print("persistent-state uops:", dolma.persistent_state_uops)
+    assert "DIV" in dolma.variable_time_uops
+    assert "LW" in dolma.inducive_uops  # stalls as a function of SW operands
+    assert "SW" in dolma.resolvent_uops
+    assert not dolma.persistent_state_uops  # no static transmitters on core
+
+
+def test_spt_is_stt_plus_ct(contracts):
+    assert contracts.spt.ct.unsafe_operands == contracts.ct.unsafe_operands
+    assert contracts.spt.stt.explicit_channels == contracts.stt.explicit_channels

@@ -1,0 +1,14 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of RTL2MuPATH + SynthLC (MICRO 2024): multi-uPATH "
+        "synthesis and leakage-contract synthesis from RTL"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["networkx"],
+)

@@ -1,0 +1,31 @@
+"""repro: a from-scratch reproduction of RTL2MuPATH + SynthLC (MICRO 2024).
+
+Layers (bottom-up):
+
+* :mod:`repro.rtl`     -- netlist IR, elaboration, static analysis
+* :mod:`repro.sim`     -- compiled cycle-accurate simulation, VCD export
+* :mod:`repro.solver`  -- CDCL SAT, gate-level construction, bit-blasting
+* :mod:`repro.mc`      -- model-checking engines (enumerative, BMC,
+  k-induction) with reachable/unreachable/undetermined verdicts
+* :mod:`repro.props`   -- SVA-style cover/assume property templates
+* :mod:`repro.ift`     -- CellIFT-style taint instrumentation
+* :mod:`repro.designs` -- the CVA6-like core, CVA6-MUL / CVA6-OP variants,
+  the L1 data-cache DUV, and verification-context providers
+* :mod:`repro.core`    -- RTL2MuPATH, SynthLC, leakage contracts
+* :mod:`repro.report`  -- Fig. 8 / Table II / SS VII-B3 reports
+
+Quickstart::
+
+    from repro.designs import build_core, CoreContextProvider, ContextFamilyConfig
+    from repro.core import Rtl2MuPath
+
+    design = build_core()
+    provider = CoreContextProvider(xlen=8, config=ContextFamilyConfig())
+    result = Rtl2MuPath(design, provider).synthesize("LW")
+    for path in result.concrete_paths:
+        print(path.latency, sorted(path.pl_set))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["rtl", "sim", "solver", "mc", "props", "ift", "designs", "core", "report"]

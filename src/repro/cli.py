@@ -1,0 +1,137 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``upath INSTR``  -- synthesize and render INSTR's uPATH set on the core
+* ``decisions INSTR`` -- print INSTR's decision set
+* ``uspec INSTR [INSTR...]`` -- emit a uSPEC-style model
+* ``table2``       -- print the metadata (Table II) report
+* ``sc-safe INSTR REG`` -- Definition V.1 check: run INSTR with REG secret
+
+The CLI is a thin veneer over the library; see ``examples/`` for richer
+workflows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import Rtl2MuPath, UhbGraph, check_sc_safe
+from .designs import ContextFamilyConfig, CoreContextProvider, build_core, isa
+from .report import render_uspec_model, table2_report
+
+
+def _default_provider(xlen: int) -> CoreContextProvider:
+    return CoreContextProvider(
+        xlen=xlen,
+        config=ContextFamilyConfig(
+            horizon=44,
+            neighbors=("DIV", "SW", "BEQ"),
+            iuv_values=(0, 1, 2, 8, 128, 255),
+            neighbor_values=(0, 1, 2, 255),
+        ),
+    )
+
+
+def _synthesize(names):
+    design = build_core()
+    tool = Rtl2MuPath(design, _default_provider(design.config.xlen))
+    return design, {name: tool.synthesize(name) for name in names}, tool
+
+
+def cmd_upath(args):
+    _design, results, tool = _synthesize([args.instr])
+    result = results[args.instr]
+    print(
+        "%s: %d uPATH families, %d concrete cycle-accurate uPATHs"
+        % (args.instr, result.num_upaths, len(result.concrete_paths))
+    )
+    for path in result.concrete_paths[: args.max_paths]:
+        print()
+        print(UhbGraph(path).render_ascii())
+    print()
+    print(tool.stats.summary())
+    return 0
+
+
+def cmd_decisions(args):
+    _design, results, _tool = _synthesize([args.instr])
+    decisions = results[args.instr].decisions
+    print("decision sources:", ", ".join(decisions.sources) or "(none)")
+    for decision in decisions.decisions():
+        print(" ", decision)
+    return 0
+
+
+def cmd_uspec(args):
+    _design, results, _tool = _synthesize(args.instrs)
+    sys.stdout.write(render_uspec_model(results))
+    return 0
+
+
+def cmd_table2(args):
+    from .designs.cache import build_cache
+
+    core = build_core()
+    cache = build_cache()
+    print(table2_report({"core": core.metadata, "cache": cache.metadata}))
+    return 0
+
+
+def cmd_sc_safe(args):
+    design = build_core()
+    program = [isa.encode(args.instr, rd=3, rs1=1, rs2=2)]
+    violation = check_sc_safe(design, program, [args.register])
+    if violation is None:
+        print("SC-Safe holds for %s with %s secret (sampled pairs)"
+              % (args.instr, args.register))
+        return 0
+    print("SC-Safe VIOLATION:")
+    print("  secret %s = %d vs %d diverges at cycle %d through PLs %s"
+          % (
+              violation.secret_register,
+              violation.value_a,
+              violation.value_b,
+              violation.first_divergence_cycle,
+              sorted(violation.diverging_pls()),
+          ))
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RTL2MuPATH + SynthLC reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("upath", help="synthesize an instruction's uPATH set")
+    p.add_argument("instr", choices=[s.name for s in isa.INSTRUCTIONS])
+    p.add_argument("--max-paths", type=int, default=4)
+    p.set_defaults(func=cmd_upath)
+
+    p = sub.add_parser("decisions", help="print an instruction's decisions")
+    p.add_argument("instr", choices=[s.name for s in isa.INSTRUCTIONS])
+    p.set_defaults(func=cmd_decisions)
+
+    p = sub.add_parser("uspec", help="emit a uSPEC-style model")
+    p.add_argument("instrs", nargs="+")
+    p.set_defaults(func=cmd_uspec)
+
+    p = sub.add_parser("table2", help="metadata report (Table II)")
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("sc-safe", help="Definition V.1 check")
+    p.add_argument("instr", choices=[s.name for s in isa.INSTRUCTIONS])
+    p.add_argument("register", help="architectural register, e.g. arf_w1")
+    p.set_defaults(func=cmd_sc_safe)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,474 @@
+"""RTL2MuPATH: multi-uPATH synthesis (paper SS V-B).
+
+Given a design (netlist + metadata), instruction encodings, and a context
+provider, the pipeline runs the paper's six steps per instruction under
+verification (IUV):
+
+1. **PL reachability for the DUV** -- enumerate candidate PLs (all non-idle
+   vars valuations, including invalid encodings) and prune those proven
+   unreachable by any instruction.  Invalid encodings are discharged with
+   unbounded k-induction proofs; valid PLs are witnessed by covers.
+2. **PL reachability for the IUV** -- prune PLs the IUV can never visit.
+3. **Fine-grained pruning** -- derive ``dominates`` and ``exclusive``
+   relations between IUV PLs from cover properties, pruning the power set
+   of candidate Reachable PL Sets.
+4. **PL-set reachability** -- for each surviving candidate set, cover "the
+   IUV visited exactly these PLs and has disappeared"; then classify each
+   PL of each reachable set as consecutively / non-consecutively revisited.
+5. **Happens-before edges** -- candidate edges are PL pairs connected via
+   pure combinational logic (static netlist analysis); each is proven per
+   reachable set with an ``a ##1 b`` cover.
+6. **Cycle-accurate uPATHs** -- optionally, revisit cycle counts per PL
+   (for SDO's data-oblivious variants) and fully concrete uPATHs.
+
+Engine note: cover evaluation over an enumerated context family reduces to
+scanning the recorded traces.  The pipeline therefore builds one
+*visit-profile index* per (context group, IUV) and answers each template
+query from it; every answered template is still recorded individually in
+:class:`~repro.mc.stats.PropertyStats`, reproducing the paper's property
+accounting (SS VII-B3).  The test suite cross-checks indexed answers
+against direct :class:`~repro.props.query.Query` evaluation and against
+the SAT-based BMC engine on the same templates.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..mc.enumerative import TraceDB
+from ..mc.kinduction import prove_unreachable_kinduction
+from ..mc.outcomes import REACHABLE, UNDETERMINED, UNREACHABLE, CheckResult
+from ..mc.stats import PropertyStats
+from ..rtl.analysis import connectivity_matrix
+from .decisions import DecisionSet, extract_decisions
+from .mhb import CycleAccuratePath, build_slot_index, extract_path
+from .pl import DesignMetadata
+
+__all__ = ["Rtl2MuPathConfig", "UPathSummary", "MuPathResult", "Rtl2MuPath", "VisitIndex"]
+
+
+@dataclass
+class Rtl2MuPathConfig:
+    max_candidate_sets: int = 4096
+    collect_run_lengths: bool = True  # SS V-B6 configuration (i), for SDO
+    max_run_length: int = 80
+    undetermined_as: str = UNREACHABLE  # SS VII-B4 interpretation
+    prove_invalid_pls_by_induction: bool = True
+    induction_k: int = 1
+    induction_conflict_budget: int = 400000
+
+
+@dataclass
+class UPathSummary:
+    """One formally verified Reachable PL Set with its structure."""
+
+    pl_set: FrozenSet[str]
+    revisit: Dict[str, str]  # pl -> none|consecutive|nonconsecutive|both
+    hb_edges: FrozenSet[Tuple[str, str]]
+    run_lengths: Dict[str, FrozenSet[int]]
+    example: Optional[CycleAccuratePath] = None
+
+    def __repr__(self):
+        return "UPathSummary({%s})" % ", ".join(sorted(self.pl_set))
+
+
+@dataclass
+class MuPathResult:
+    """Complete RTL2MuPATH output for one IUV."""
+
+    iuv: str
+    iuv_pls: FrozenSet[str]
+    dominates: FrozenSet[Tuple[str, str]]
+    exclusive: FrozenSet[FrozenSet[str]]
+    candidate_sets_considered: int
+    naive_power_set_size: int
+    upaths: List[UPathSummary]
+    concrete_paths: List[CycleAccuratePath]
+    decisions: DecisionSet
+    run_lengths: Dict[str, FrozenSet[int]]
+    truncated: bool  # any context family truncated -> completeness caveat
+
+    @property
+    def num_upaths(self) -> int:
+        return len(self.upaths)
+
+    @property
+    def multi_path(self) -> bool:
+        """More than one uPATH: the RTL2uSPEC single-path assumption fails."""
+        return len(self.concrete_paths) > 1
+
+
+class VisitIndex:
+    """Per-(context group, IUV) aggregation of concrete visit profiles."""
+
+    def __init__(self, tracedb: TraceDB, metadata: DesignMetadata, iuv_pc: int):
+        self.iuv_pc = iuv_pc
+        self.complete = tracedb.complete
+        self.paths: List[CycleAccuratePath] = []
+        pls = metadata.pls
+        slot_index = None
+        for view in tracedb.views:
+            if slot_index is None:
+                slot_index = build_slot_index(pls, view.index)
+            self.paths.append(extract_path(view, pls, iuv_pc, slot_index=slot_index))
+
+    def observed_sets(self) -> Counter:
+        return Counter(path.pl_set for path in self.paths)
+
+
+def _merge_run_lengths(target: Dict[str, Set[int]], path: CycleAccuratePath):
+    for pl in path.pl_set:
+        target.setdefault(pl, set()).update(path.run_lengths(pl))
+
+
+class Rtl2MuPath:
+    """The synthesis tool.
+
+    Parameters:
+        design: object with ``netlist`` and ``metadata`` attributes.
+        provider: context provider with ``mupath_groups(iuv_name)``.
+        config: pipeline options.
+        stats: optional shared property-statistics accumulator.
+    """
+
+    def __init__(self, design, provider, config: Optional[Rtl2MuPathConfig] = None,
+                 stats: Optional[PropertyStats] = None):
+        self.design = design
+        self.netlist = design.netlist
+        self.metadata: DesignMetadata = design.metadata
+        self.provider = provider
+        self.config = config or Rtl2MuPathConfig()
+        self.stats = stats if stats is not None else PropertyStats(label="rtl2mupath")
+        self._duv_pls: Optional[FrozenSet[str]] = None
+        self._connectivity: Optional[Dict[str, Set[str]]] = None
+
+    # ------------------------------------------------------------ accounting
+    def _record(self, name: str, outcome: str, started: float, detail: str = "",
+                engine="enumerative-indexed"):
+        self.stats.record(
+            CheckResult(
+                query_name=name,
+                outcome=outcome,
+                engine=engine,
+                time_seconds=time.perf_counter() - started,
+                detail=detail,
+            )
+        )
+
+    def _cover_outcome(self, hit: bool, complete: bool) -> str:
+        if hit:
+            return REACHABLE
+        return UNREACHABLE if complete else UNDETERMINED
+
+    def _resolve(self, outcome: str) -> str:
+        """Apply the configured undetermined-outcome interpretation."""
+        if outcome == UNDETERMINED:
+            return self.config.undetermined_as
+        return outcome
+
+    # ------------------------------------------------- step 1: DUV PL pruning
+    def duv_pl_reachability(self, representative_iuvs: Sequence[str]) -> FrozenSet[str]:
+        """Prune PLs unreachable by any instruction (run once per DUV)."""
+        if self._duv_pls is not None:
+            return self._duv_pls
+        reachable: Set[str] = set()
+        groups = []
+        for name in representative_iuvs:
+            groups.extend(self.provider.mupath_groups(name))
+        tracedbs = [TraceDB(self.netlist, g.contexts, g.complete) for g in groups]
+
+        for pl_name, pl in self.metadata.pls.items():
+            started = time.perf_counter()
+            hit = any(
+                any(view.bit(slot.occ_signal, t) for slot in pl.slots)
+                for db in tracedbs
+                for view in db.views
+                for t in range(view.horizon)
+            )
+            outcome = self._cover_outcome(hit, all(db.complete for db in tracedbs))
+            self._record("duvpl_reach_%s" % pl_name, outcome, started)
+            if self._resolve(outcome) == REACHABLE or hit:
+                reachable.add(pl_name)
+
+        # invalid vars valuations: discharge with unbounded induction proofs
+        for pl_name, pl in self.metadata.candidate_pls.items():
+            started = time.perf_counter()
+            if self.config.prove_invalid_pls_by_induction:
+                result = prove_unreachable_kinduction(
+                    self.netlist,
+                    pl.occupied(),
+                    k=self.config.induction_k,
+                    conflict_budget=self.config.induction_conflict_budget,
+                )
+                self._record(
+                    "duvpl_reach_%s" % pl_name,
+                    result.outcome,
+                    started,
+                    detail=result.detail,
+                    engine="k-induction",
+                )
+                if result.outcome == REACHABLE:
+                    reachable.add(pl_name)
+            else:
+                hit = any(
+                    any(view.bit(slot.occ_signal, t) for slot in pl.slots)
+                    for db in tracedbs
+                    for view in db.views
+                    for t in range(view.horizon)
+                )
+                outcome = self._cover_outcome(hit, False)
+                self._record("duvpl_reach_%s" % pl_name, outcome, started)
+                if hit:
+                    reachable.add(pl_name)
+        self._duv_pls = frozenset(reachable)
+        return self._duv_pls
+
+    # --------------------------------------------------------- main synthesis
+    def synthesize(self, iuv_name: str) -> MuPathResult:
+        cfg = self.config
+        groups = self.provider.mupath_groups(iuv_name)
+        indexes: List[VisitIndex] = []
+        truncated = False
+        for group in groups:
+            db = TraceDB(self.netlist, group.contexts, group.complete)
+            index = VisitIndex(db, self.metadata, group.iuv_pc)
+            indexes.append(index)
+            truncated = truncated or not group.complete
+        all_paths = [path for index in indexes for path in index.paths]
+        complete = not truncated
+
+        # ---- step 2: IUV PL reachability
+        duv_pls = self._duv_pls or frozenset(self.metadata.pls)
+        iuv_pls: Set[str] = set()
+        for pl_name in sorted(duv_pls & set(self.metadata.pls)):
+            started = time.perf_counter()
+            hit = any(pl_name in path.pl_set for path in all_paths)
+            outcome = self._cover_outcome(hit, complete)
+            self._record("iuvpl_%s_%s" % (iuv_name, pl_name), outcome, started)
+            if hit:
+                iuv_pls.add(pl_name)
+        iuv_pl_list = sorted(iuv_pls)
+
+        # ---- step 3: dominates / exclusive pruning
+        dominates: Set[Tuple[str, str]] = set()
+        for pl0 in iuv_pl_list:
+            for pl1 in iuv_pl_list:
+                if pl0 == pl1:
+                    continue
+                started = time.perf_counter()
+                # cover(!pl0_visited & pl1_visited): unreachable => dominates
+                hit = any(
+                    pl1 in path.pl_set and pl0 not in path.pl_set
+                    for path in all_paths
+                )
+                outcome = self._cover_outcome(hit, complete)
+                self._record("dom_%s_%s_%s" % (iuv_name, pl0, pl1), outcome, started)
+                if self._resolve(outcome) == UNREACHABLE:
+                    dominates.add((pl0, pl1))
+        exclusive: Set[FrozenSet[str]] = set()
+        for i, pl0 in enumerate(iuv_pl_list):
+            for pl1 in iuv_pl_list[i + 1 :]:
+                started = time.perf_counter()
+                hit = any(
+                    pl0 in path.pl_set and pl1 in path.pl_set for path in all_paths
+                )
+                outcome = self._cover_outcome(hit, complete)
+                self._record("excl_%s_%s_%s" % (iuv_name, pl0, pl1), outcome, started)
+                if self._resolve(outcome) == UNREACHABLE:
+                    exclusive.add(frozenset((pl0, pl1)))
+
+        # ---- step 4: candidate enumeration + PL-set reachability
+        candidates = self._enumerate_candidates(iuv_pl_list, dominates, exclusive)
+        observed: Counter = Counter()
+        for index in indexes:
+            observed.update(index.observed_sets())
+        observed.pop(frozenset(), None)
+
+        reachable_sets: List[FrozenSet[str]] = []
+        for cand in candidates:
+            started = time.perf_counter()
+            hit = cand in observed
+            outcome = self._cover_outcome(hit, complete)
+            self._record(
+                "plset_%s_{%s}" % (iuv_name, ",".join(sorted(cand))), outcome, started
+            )
+            if hit:
+                reachable_sets.append(cand)
+        # any observed set must have survived pruning (sanity of the relations)
+        for seen in observed:
+            if seen not in candidates:
+                reachable_sets.append(seen)
+
+        # ---- steps 4b/5/6 per reachable set
+        conn = self._pl_connectivity()
+        upaths: List[UPathSummary] = []
+        global_run_lengths: Dict[str, Set[int]] = {}
+        paths_by_set: Dict[FrozenSet[str], List[CycleAccuratePath]] = {}
+        for path in all_paths:
+            if path.pl_set:
+                paths_by_set.setdefault(path.pl_set, []).append(path)
+        for pl_set in sorted(reachable_sets, key=sorted):
+            set_paths = paths_by_set.get(pl_set, [])
+            revisit: Dict[str, str] = {}
+            run_lengths: Dict[str, FrozenSet[int]] = {}
+            for pl in sorted(pl_set):
+                started = time.perf_counter()
+                consec = any(p.revisit_kind(pl) in ("consecutive", "both") for p in set_paths)
+                self._record(
+                    "revisit_c_%s_%s" % (iuv_name, pl),
+                    self._cover_outcome(consec, complete),
+                    started,
+                )
+                started = time.perf_counter()
+                nonconsec = any(
+                    p.revisit_kind(pl) in ("nonconsecutive", "both") for p in set_paths
+                )
+                self._record(
+                    "revisit_n_%s_%s" % (iuv_name, pl),
+                    self._cover_outcome(nonconsec, complete),
+                    started,
+                )
+                if consec and nonconsec:
+                    revisit[pl] = "both"
+                elif consec:
+                    revisit[pl] = "consecutive"
+                elif nonconsec:
+                    revisit[pl] = "nonconsecutive"
+                else:
+                    revisit[pl] = "none"
+                if cfg.collect_run_lengths:
+                    lengths = set()
+                    for p in set_paths:
+                        lengths.update(p.run_lengths(pl))
+                    for length in sorted(lengths):
+                        started = time.perf_counter()
+                        self._record(
+                            "runlen_%s_%s_%d" % (iuv_name, pl, length),
+                            REACHABLE,
+                            started,
+                        )
+                    run_lengths[pl] = frozenset(lengths)
+                    global_run_lengths.setdefault(pl, set()).update(lengths)
+
+            hb_edges: Set[Tuple[str, str]] = set()
+            for pl0 in sorted(pl_set):
+                for pl1 in sorted(pl_set):
+                    if pl1 not in conn.get(pl0, ()):
+                        continue  # not combinationally connected: no candidate
+                    started = time.perf_counter()
+                    hit = any(
+                        self._has_edge(p, pl0, pl1) for p in set_paths
+                    )
+                    outcome = self._cover_outcome(hit, complete)
+                    self._record(
+                        "hbedge_%s_%s_%s" % (iuv_name, pl0, pl1), outcome, started
+                    )
+                    if hit:
+                        hb_edges.add((pl0, pl1))
+
+            upaths.append(
+                UPathSummary(
+                    pl_set=pl_set,
+                    revisit=revisit,
+                    hb_edges=frozenset(hb_edges),
+                    run_lengths=run_lengths,
+                    example=set_paths[0] if set_paths else None,
+                )
+            )
+
+        # concrete cycle-accurate uPATHs (deduplicated)
+        unique_paths: Dict[Tuple, CycleAccuratePath] = {}
+        for path in all_paths:
+            if path.pl_set:
+                unique_paths.setdefault(path.visits, path)
+        concrete = sorted(unique_paths.values(), key=lambda p: (p.latency, sorted(p.pl_set)))
+
+        decisions = extract_decisions(iuv_name, concrete)
+        return MuPathResult(
+            iuv=iuv_name,
+            iuv_pls=frozenset(iuv_pls),
+            dominates=frozenset(dominates),
+            exclusive=frozenset(exclusive),
+            candidate_sets_considered=len(candidates),
+            naive_power_set_size=2 ** len(iuv_pl_list),
+            upaths=upaths,
+            concrete_paths=concrete,
+            decisions=decisions,
+            run_lengths={pl: frozenset(v) for pl, v in global_run_lengths.items()},
+            truncated=truncated,
+        )
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _has_edge(path: CycleAccuratePath, pl0: str, pl1: str) -> bool:
+        for t in range(len(path.visits) - 1):
+            if pl0 in path.visits[t] and pl1 in path.visits[t + 1]:
+                return True
+        return False
+
+    def _enumerate_candidates(
+        self,
+        iuv_pls: List[str],
+        dominates: Set[Tuple[str, str]],
+        exclusive: Set[FrozenSet[str]],
+    ) -> List[FrozenSet[str]]:
+        """DFS over the power set, pruning dominates/exclusive violations."""
+        cap = self.config.max_candidate_sets
+        dominators: Dict[str, List[str]] = {}
+        for pl0, pl1 in dominates:
+            dominators.setdefault(pl1, []).append(pl0)
+        out: List[FrozenSet[str]] = []
+
+        def consistent(selection: Set[str]) -> bool:
+            for pl in selection:
+                for dom in dominators.get(pl, ()):
+                    if dom not in selection and dom in iuv_pls:
+                        return False
+            for pair in exclusive:
+                if pair <= selection:
+                    return False
+            return True
+
+        def dfs(i: int, selection: Set[str]):
+            if len(out) >= cap:
+                return
+            if i == len(iuv_pls):
+                if selection and consistent(selection):
+                    out.append(frozenset(selection))
+                return
+            pl = iuv_pls[i]
+            # include (check exclusivity incrementally for early pruning)
+            ok = all(
+                frozenset((pl, other)) not in exclusive for other in selection
+            )
+            if ok:
+                selection.add(pl)
+                dfs(i + 1, selection)
+                selection.remove(pl)
+            # exclude: only if nothing already selected requires pl
+            dfs(i + 1, selection)
+
+        dfs(0, set())
+        return out
+
+    def _pl_connectivity(self) -> Dict[str, Set[str]]:
+        """Class-level combinational connectivity between PLs (SS V-B5)."""
+        if self._connectivity is not None:
+            return self._connectivity
+        slot_signals = []
+        slot_owner = {}
+        for name, pl in self.metadata.pls.items():
+            for slot in pl.slots:
+                slot_signals.append(slot.occ_signal)
+                slot_owner[slot.occ_signal] = name
+        matrix = connectivity_matrix(self.netlist, slot_signals)
+        lifted: Dict[str, Set[str]] = {}
+        for src_sig, dsts in matrix.items():
+            src = slot_owner[src_sig]
+            for dst_sig in dsts:
+                lifted.setdefault(src, set()).add(slot_owner[dst_sig])
+        self._connectivity = lifted
+        return lifted

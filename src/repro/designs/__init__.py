@@ -1,0 +1,35 @@
+"""Case-study designs: the CVA6-like core, variants, and the data cache."""
+
+from . import isa
+from .core import CoreConfig, CoreDesign, build_core
+from .variants import build_cva6_mul, build_cva6_op, build_fixed_core, OpPackConfig
+from .cache import CacheConfig, CacheContextProvider, CacheDesign, build_cache
+from .harness import (
+    ContextFamilyConfig,
+    ContextGroup,
+    CoreContextProvider,
+    TaintSpec,
+    program_driver_factory,
+    slot_pc,
+)
+
+__all__ = [
+    "isa",
+    "CoreConfig",
+    "CoreDesign",
+    "build_core",
+    "build_cva6_mul",
+    "build_cva6_op",
+    "build_fixed_core",
+    "OpPackConfig",
+    "CacheConfig",
+    "CacheContextProvider",
+    "CacheDesign",
+    "build_cache",
+    "ContextFamilyConfig",
+    "ContextGroup",
+    "CoreContextProvider",
+    "TaintSpec",
+    "program_driver_factory",
+    "slot_pc",
+]

@@ -1,0 +1,170 @@
+"""A miniature assembler for the case-study ISA.
+
+Accepts the conventional RISC-V-ish textual forms and produces encoded
+instruction words for the core's fetch interface:
+
+    ADD  x3, x1, x2
+    ADDI x3, x1, 5
+    LW   x3, 2(x1)
+    SW   x2, 2(x1)     # store offset == data-register index (shared field)
+    BEQ  x1, x2        # branch target offset == rs2 index (shared field)
+    JAL  x1, 4
+    JALR x1, x2, 0
+    ECALL
+
+Register operands are ``x0``..``x7``; immediates are the 3-bit field the
+encoding carries.  ``assemble`` returns a list of words; ``disassemble``
+inverts one word.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from . import isa
+
+__all__ = ["assemble", "assemble_line", "disassemble", "AsmError"]
+
+
+class AsmError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+_REG = re.compile(r"^x([0-7])$")
+_MEM = re.compile(r"^(\d+)\(x([0-7])\)$")
+
+
+def _reg(token: str) -> int:
+    match = _REG.match(token.strip())
+    if not match:
+        raise AsmError("bad register %r (expected x0..x7)" % token)
+    return int(match.group(1))
+
+
+def _imm(token: str) -> int:
+    try:
+        value = int(token.strip(), 0)
+    except ValueError:
+        raise AsmError("bad immediate %r" % token)
+    if not 0 <= value < 8:
+        raise AsmError("immediate %d out of range [0,8)" % value)
+    return value
+
+
+def assemble_line(line: str) -> int:
+    """Assemble one instruction line to its encoding word."""
+    text = line.split("#", 1)[0].strip()
+    if not text:
+        raise AsmError("empty line")
+    parts = text.replace(",", " ").split()
+    mnemonic = parts[0].upper()
+    if mnemonic not in isa.BY_NAME:
+        raise AsmError("unknown mnemonic %r" % mnemonic)
+    spec = isa.BY_NAME[mnemonic]
+    operands = parts[1:]
+
+    if spec.cls in ("load",):
+        # LW rd, imm(rs1)
+        if len(operands) != 2:
+            raise AsmError("%s expects rd, imm(rs1)" % mnemonic)
+        rd = _reg(operands[0])
+        match = _MEM.match(operands[1].strip())
+        if not match:
+            raise AsmError("bad memory operand %r" % operands[1])
+        return isa.encode(mnemonic, rd=rd, rs1=int(match.group(2)),
+                          rs2=_imm(match.group(1)))
+    if spec.cls == "store":
+        # SW rs2, imm(rs1)
+        if len(operands) != 2:
+            raise AsmError("%s expects rs2, imm(rs1)" % mnemonic)
+        rs2_data = _reg(operands[0])
+        match = _MEM.match(operands[1].strip())
+        if not match:
+            raise AsmError("bad memory operand %r" % operands[1])
+        imm = _imm(match.group(1))
+        if imm != rs2_data:
+            # the compact encoding shares the rs2 field between the data
+            # register and the offset; they must agree
+            raise AsmError(
+                "store offset must equal the data register index in the "
+                "compact encoding (got offset %d, data x%d)" % (imm, rs2_data)
+            )
+        return isa.encode(mnemonic, rs1=int(match.group(2)), rs2=rs2_data)
+    if spec.cls == "branch":
+        # BEQ rs1, rs2 -- the compact encoding's rs2 field doubles as the
+        # target offset (pc + rs2-index)
+        if len(operands) != 2:
+            raise AsmError("%s expects rs1, rs2" % mnemonic)
+        return isa.encode(
+            mnemonic, rs1=_reg(operands[0]), rs2=_reg(operands[1]), rd=0
+        )
+    if spec.cls == "jal":
+        if len(operands) != 2:
+            raise AsmError("%s expects rd, imm" % mnemonic)
+        return isa.encode(mnemonic, rd=_reg(operands[0]), rs2=_imm(operands[1]))
+    if spec.cls == "jalr":
+        if len(operands) != 3:
+            raise AsmError("%s expects rd, rs1, imm" % mnemonic)
+        return isa.encode(
+            mnemonic, rd=_reg(operands[0]), rs1=_reg(operands[1]),
+            rs2=_imm(operands[2]),
+        )
+    if spec.cls == "system" or not (spec.reads_rs1 or spec.reads_rs2 or spec.writes_rd):
+        return isa.encode(mnemonic)
+
+    # register/immediate ALU, mul, div forms: rd, rs1, rs2|imm
+    if spec.reads_rs1 and spec.reads_rs2:
+        if len(operands) != 3:
+            raise AsmError("%s expects rd, rs1, rs2" % mnemonic)
+        return isa.encode(
+            mnemonic, rd=_reg(operands[0]), rs1=_reg(operands[1]),
+            rs2=_reg(operands[2]),
+        )
+    if spec.reads_rs1:
+        if len(operands) != 3:
+            raise AsmError("%s expects rd, rs1, imm" % mnemonic)
+        return isa.encode(
+            mnemonic, rd=_reg(operands[0]), rs1=_reg(operands[1]),
+            rs2=_imm(operands[2]),
+        )
+    if len(operands) != 2:
+        raise AsmError("%s expects rd, imm" % mnemonic)
+    return isa.encode(mnemonic, rd=_reg(operands[0]), rs2=_imm(operands[1]))
+
+
+def assemble(source: str) -> List[int]:
+    """Assemble a multi-line program (comments with ``#``, blank lines ok)."""
+    words = []
+    for number, line in enumerate(source.splitlines(), 1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        try:
+            words.append(assemble_line(stripped))
+        except AsmError as exc:
+            raise AsmError("line %d: %s" % (number, exc)) from None
+    return words
+
+
+def disassemble(word: int) -> str:
+    """Render one encoding word back to text (canonical operand form)."""
+    instr = isa.decode(word)
+    spec = instr.spec
+    if spec.cls == "load":
+        return "%s x%d, %d(x%d)" % (spec.name, instr.rd, instr.imm, instr.rs1)
+    if spec.cls == "store":
+        return "%s x%d, %d(x%d)" % (spec.name, instr.rs2, instr.imm, instr.rs1)
+    if spec.cls == "branch":
+        return "%s x%d, x%d" % (spec.name, instr.rs1, instr.rs2)
+    if spec.cls == "jal":
+        return "%s x%d, %d" % (spec.name, instr.rd, instr.imm)
+    if spec.cls == "jalr":
+        return "%s x%d, x%d, %d" % (spec.name, instr.rd, instr.rs1, instr.imm)
+    if not (spec.reads_rs1 or spec.reads_rs2 or spec.writes_rd):
+        return spec.name
+    if spec.reads_rs1 and spec.reads_rs2:
+        return "%s x%d, x%d, x%d" % (spec.name, instr.rd, instr.rs1, instr.rs2)
+    if spec.reads_rs1:
+        return "%s x%d, x%d, %d" % (spec.name, instr.rd, instr.rs1, instr.imm)
+    return "%s x%d, %d" % (spec.name, instr.rd, instr.imm)

@@ -1,0 +1,475 @@
+"""Verification contexts for the case-study cores.
+
+RTL2MuPATH explores an instruction under verification (IUV) "in all
+reachable contexts ... preceded/followed by an arbitrary number of valid
+instructions" (SS V-B).  The paper's artifact makes this tractable with
+*restricted execution assumptions* (Appendix I-F/G: the DIV experiment
+issues the IUV right after reset and surrounds it with instructions drawn
+from a small set).  This module provides the equivalent machinery for our
+enumerative engine: reactive program drivers that feed instruction streams
+through the fetch handshake, and context-family generators that sweep
+
+* the IUV's operand values (covering every divider-latency class, both
+  multiplier zero-skip arms, all page-offset relations, taken and
+  not-taken branch outcomes, aligned and misaligned targets), and
+* neighbouring transmitter instructions before/after the IUV.
+
+Families report whether they were truncated so negative verdicts degrade
+to UNDETERMINED exactly like a resource-limited model checker.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..mc.enumerative import ReactiveContext
+from . import isa
+
+__all__ = [
+    "TaintSpec",
+    "ScriptItem",
+    "program_driver_factory",
+    "ContextFamilyConfig",
+    "ContextGroup",
+    "CoreContextProvider",
+    "FIRST_PC",
+    "slot_pc",
+]
+
+FIRST_PC = 4  # fetch_pc reset value: the first accepted instruction's PC
+
+
+def slot_pc(slot: int) -> int:
+    """IID (PC) of the ``slot``-th accepted instruction."""
+    return FIRST_PC + 4 * slot
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """Taint targeting for SynthLC runs (ignored on uninstrumented DUVs)."""
+
+    pc: int
+    rs1: bool = False
+    rs2: bool = False
+
+
+# Script items: ("feed", (word, ...)) | ("wait_quiesce",) | ("flush",) | ("idle", n)
+ScriptItem = Tuple
+
+
+def program_driver_factory(
+    script: Sequence[ScriptItem],
+    taint: Optional[TaintSpec] = None,
+    instrumented: bool = False,
+):
+    """Build a reactive-driver factory executing ``script``.
+
+    The driver replays each instruction until the fetch interface accepts
+    it (``fetch_ready`` observed high while driving ``in_valid``), waits
+    for pipeline quiescence on ``wait_quiesce`` items, and pulses
+    ``taint_flush`` for one cycle on ``flush`` items (Assumption 3).
+    """
+    script = tuple(script)
+
+    def factory():
+        state = {"phase": 0, "ptr": 0, "idle": 0, "driving": False}
+
+        def driver(t, prev_obs):
+            inputs: Dict[str, int] = {}
+            if taint is not None:
+                inputs["taint_pc"] = taint.pc
+                inputs["taint_rs1"] = 1 if taint.rs1 else 0
+                inputs["taint_rs2"] = 1 if taint.rs2 else 0
+            if instrumented:
+                inputs["taint_intro"] = 1
+                inputs["taint_flush"] = 0
+
+            # did the previous cycle's instruction get accepted?
+            if state["driving"] and prev_obs is not None and prev_obs["fetch_ready"]:
+                state["ptr"] += 1
+            state["driving"] = False
+
+            while state["phase"] < len(script):
+                item = script[state["phase"]]
+                kind = item[0]
+                if kind == "feed":
+                    words = item[1]
+                    if state["ptr"] >= len(words):
+                        state["phase"] += 1
+                        state["ptr"] = 0
+                        continue
+                    inputs["in_valid"] = 1
+                    inputs["in_instr"] = words[state["ptr"]]
+                    state["driving"] = True
+                    return inputs
+                if kind == "wait_quiesce":
+                    # require at least one waited cycle: the observation lags
+                    # the drive by a cycle, so the pre-feed quiescent state
+                    # must not satisfy the wait
+                    if (
+                        state.get("waited")
+                        and prev_obs is not None
+                        and prev_obs.get("pipe_quiesce")
+                    ):
+                        state["phase"] += 1
+                        state["waited"] = False
+                        continue
+                    state["waited"] = True
+                    return inputs
+                if kind == "flush":
+                    if instrumented:
+                        inputs["taint_flush"] = 1
+                    state["phase"] += 1
+                    return inputs
+                if kind == "idle":
+                    if state["idle"] >= item[1]:
+                        state["idle"] = 0
+                        state["phase"] += 1
+                        continue
+                    state["idle"] += 1
+                    return inputs
+                raise ValueError("unknown script item %r" % (item,))
+            return inputs
+
+        return driver
+
+    return factory
+
+
+def default_value_set(xlen: int) -> Tuple[int, ...]:
+    """Operand values covering every divider-latency class, zero/non-zero
+    multiplier arms, all low-bit offsets, and a negative (MSB-set) value."""
+    values = {0, 1, 2, 3}
+    values.update(1 << i for i in range(xlen))
+    values.add((1 << xlen) - 1)  # all-ones: negative divisor / max magnitude
+    values.add((1 << (xlen - 1)) | 1)  # negative odd value
+    return tuple(sorted(values))
+
+
+def small_value_set(xlen: int) -> Tuple[int, ...]:
+    """Reduced interferer-operand values: offset-0 / offset-match / offset-miss,
+    zero / short / long divider latencies."""
+    return (0, 1, 2, 3, 1 << (xlen - 1), (1 << xlen) - 1)
+
+
+@dataclass(frozen=True)
+class ContextFamilyConfig:
+    """Knobs controlling context generation (the restriction assumptions)."""
+
+    horizon: int = 48
+    iuv_values: Optional[Tuple[int, ...]] = None  # default: default_value_set
+    neighbor_values: Optional[Tuple[int, ...]] = None  # default: small_value_set
+    neighbors: Tuple[str, ...] = ("ADD", "MUL", "DIV", "LW", "SW", "BEQ", "JALR", "ECALL")
+    include_solo: bool = True
+    include_preceding: bool = True
+    include_following: bool = True
+    include_deep: bool = True  # 3/4-instruction shapes: drain & SCB-full stalls
+    max_contexts: Optional[int] = None  # cap -> family marked incomplete
+    instrumented: bool = False
+
+
+@dataclass
+class ContextGroup:
+    """Contexts sharing one IUV placement (hence one IUV PC)."""
+
+    iuv_pc: int
+    contexts: List[ReactiveContext]
+    complete: bool
+    label: str = ""
+    taint_pc: Optional[int] = None  # transmitter slot PC (taint runs only)
+
+
+class CoreContextProvider:
+    """Context families for the CVA6-like core DUV."""
+
+    # register allocation: IUV uses r1/r2 -> r3; neighbours use r4/r5 -> r6,
+    # keeping architectural dependencies out of the picture so that all
+    # observed interactions are microarchitectural channels.
+    IUV_RS1, IUV_RS2, IUV_RD = 1, 2, 3
+    NB_RS1, NB_RS2, NB_RD = 4, 5, 6
+
+    def __init__(self, xlen: int, config: Optional[ContextFamilyConfig] = None):
+        self.xlen = xlen
+        self.config = config or ContextFamilyConfig()
+
+    # ------------------------------------------------------------------ helpers
+    def _iuv_word(self, name: str) -> int:
+        return isa.encode(name, rd=self.IUV_RD, rs1=self.IUV_RS1, rs2=self.IUV_RS2)
+
+    def _neighbor_word(self, name: str) -> int:
+        return isa.encode(name, rd=self.NB_RD, rs1=self.NB_RS1, rs2=self.NB_RS2)
+
+    def _overrides(self, v1, v2, w1, w2) -> Dict[str, int]:
+        return {
+            "arf_w%d" % self.IUV_RS1: v1,
+            "arf_w%d" % self.IUV_RS2: v2,
+            "arf_w%d" % self.NB_RS1: w1,
+            "arf_w%d" % self.NB_RS2: w2,
+        }
+
+    def _context(self, script, overrides, label, taint=None) -> ReactiveContext:
+        return ReactiveContext.make(
+            overrides,
+            program_driver_factory(
+                script, taint=taint, instrumented=self.config.instrumented
+            ),
+            horizon=self.config.horizon,
+            label=label,
+        )
+
+    # --------------------------------------------------------------- uPATH runs
+    def mupath_groups(self, iuv_name: str) -> List[ContextGroup]:
+        """Context groups for RTL2MuPATH's exploration of ``iuv_name``.
+
+        Sweeps are additive rather than multiplicative: the IUV's operand
+        pair is swept at representative neighbour values, and the
+        neighbour's operand pair is swept at representative IUV values.
+        This is the enumerative analogue of the paper artifact's restricted
+        execution assumptions, and keeps each family in the low thousands
+        of contexts.
+        """
+        cfg = self.config
+        iuv_vals = cfg.iuv_values or default_value_set(self.xlen)
+        nb_vals = cfg.neighbor_values or small_value_set(self.xlen)
+        iuv_reps = (iuv_vals[0], iuv_vals[len(iuv_vals) // 2], iuv_vals[-1])
+        nb_reps = (nb_vals[0], nb_vals[len(nb_vals) // 2])
+        iuv_word = self._iuv_word(iuv_name)
+        groups: List[ContextGroup] = []
+
+        def build_group(slot, cases, label):
+            contexts = []
+            truncated = False
+            for program, v1, v2, w1, w2, case_label in cases:
+                if cfg.max_contexts and len(contexts) >= cfg.max_contexts:
+                    truncated = True
+                    break
+                contexts.append(
+                    self._context(
+                        [("feed", tuple(program))],
+                        self._overrides(v1, v2, w1, w2),
+                        "%s %s v=(%d,%d) w=(%d,%d)" % (label, case_label, v1, v2, w1, w2),
+                    )
+                )
+            return ContextGroup(
+                iuv_pc=slot_pc(slot),
+                contexts=contexts,
+                complete=not truncated,
+                label=label,
+            )
+
+        def neighbor_cases(make_program, tag):
+            cases = []
+            for nb in cfg.neighbors:
+                nb_word = self._neighbor_word(nb)
+                program = make_program(nb_word)
+                # IUV operand sweep at representative neighbour values
+                for w1, w2 in itertools.product(nb_reps, repeat=2):
+                    for v1, v2 in itertools.product(iuv_vals, iuv_vals):
+                        cases.append((program, v1, v2, w1, w2, "%s-%s" % (tag, nb)))
+                # neighbour operand sweep at representative IUV values
+                for v1, v2 in itertools.product(iuv_reps, repeat=2):
+                    for w1, w2 in itertools.product(nb_vals, nb_vals):
+                        cases.append((program, v1, v2, w1, w2, "%s-%s" % (tag, nb)))
+            return cases
+
+        if cfg.include_solo:
+            cases = [
+                ((iuv_word,), v1, v2, 0, 0, "solo")
+                for v1, v2 in itertools.product(iuv_vals, iuv_vals)
+            ]
+            groups.append(build_group(0, cases, "solo"))
+        if cfg.include_preceding:
+            cases = neighbor_cases(lambda nb_word: (nb_word, iuv_word), "after")
+            groups.append(build_group(1, cases, "preceded"))
+        if cfg.include_following:
+            cases = neighbor_cases(lambda nb_word: (iuv_word, nb_word), "before")
+            groups.append(build_group(0, cases, "followed"))
+        if cfg.include_deep:
+            # (IUV, NB, NB') -- surfaces port-contention drain stalls for
+            # committed stores (the ST_comSTB channel needs two younger
+            # memory instructions in flight)
+            contexts = []
+            truncated = False
+            for nb in cfg.neighbors:
+                nb_word = self._neighbor_word(nb)
+                nb2_word = isa.encode(nb, rd=0, rs1=7, rs2=7)
+                for w1 in nb_vals:
+                    for u in nb_vals:
+                        for v1, v2 in ((iuv_reps[0], iuv_reps[1]), (iuv_reps[1], iuv_reps[0])):
+                            if cfg.max_contexts and len(contexts) >= cfg.max_contexts:
+                                truncated = True
+                                break
+                            overrides = self._overrides(v1, v2, w1, nb_reps[0])
+                            overrides["arf_w7"] = u
+                            contexts.append(
+                                self._context(
+                                    [("feed", (iuv_word, nb_word, nb2_word))],
+                                    overrides,
+                                    "deep2-%s v=(%d,%d) w=(%d) u=%d" % (nb, v1, v2, w1, u),
+                                )
+                            )
+            groups.append(
+                ContextGroup(iuv_pc=slot_pc(0), contexts=contexts,
+                             complete=not truncated, label="deep2")
+            )
+            # (NB, FILL, FILL, IUV) -- fills the scoreboard behind a
+            # long-latency transmitter so the IUV stalls in ID (SS VII-A1
+            # "All": 1-to-68-cycle ID stalls as a function of DIV operands)
+            fill_word = isa.encode("ADD", rd=0, rs1=0, rs2=0)
+            cases = []
+            for nb in cfg.neighbors:
+                nb_word = self._neighbor_word(nb)
+                for w1, w2 in itertools.product(nb_vals, nb_vals):
+                    for v1, v2 in ((iuv_reps[0], iuv_reps[1]), (iuv_reps[-1], iuv_reps[0])):
+                        cases.append(
+                            (
+                                (nb_word, fill_word, fill_word, iuv_word),
+                                v1,
+                                v2,
+                                w1,
+                                w2,
+                                "scbfull-%s" % nb,
+                            )
+                        )
+            groups.append(build_group(3, cases, "scbfull"))
+        return groups
+
+    # --------------------------------------------------------------- taint runs
+    def taint_groups(
+        self,
+        transponder: str,
+        transmitter: str,
+        assumption: str,  # "intrinsic" | "dynamic_older" | "dynamic_younger" | "static"
+        operand: str,  # "rs1" | "rs2"
+    ) -> List[ContextGroup]:
+        """Context groups for one SynthLC symbolic-IFT classification run.
+
+        Taint is introduced at ``transmitter``'s ``operand`` register under
+        the given typing assumption (Fig. 7); the caller's cover property
+        then asks whether ``transponder``'s decision destinations become
+        tainted.
+        """
+        cfg = self.config
+        iuv_vals = cfg.iuv_values or default_value_set(self.xlen)
+        nb_vals = cfg.neighbor_values or small_value_set(self.xlen)
+        p_word = self._iuv_word(transponder)
+        taint_rs1 = operand == "rs1"
+        taint_rs2 = operand == "rs2"
+        groups: List[ContextGroup] = []
+
+        iuv_reps = (iuv_vals[0], iuv_vals[len(iuv_vals) // 2], iuv_vals[-1])
+        nb_reps = (nb_vals[0], nb_vals[len(nb_vals) // 2])
+
+        def collect(slot, t_slot, script_fn, label, extra_r7=False):
+            contexts = []
+            truncated = False
+            taint = TaintSpec(pc=slot_pc(t_slot), rs1=taint_rs1, rs2=taint_rs2)
+            # additive sweep: transmitter operands get the full sweep (they
+            # introduce the taint), transponder operands only representative
+            # values (enough to trigger each decision arm)
+            cases = []
+            for w1, w2 in itertools.product(nb_reps, nb_reps):
+                for v1, v2 in itertools.product(iuv_reps, iuv_reps):
+                    cases.append((v1, v2, w1, w2, 0))
+            for v1, v2 in ((iuv_reps[0], iuv_reps[1]), (iuv_reps[-1], iuv_reps[0])):
+                for w1, w2 in itertools.product(nb_vals, nb_vals):
+                    cases.append((v1, v2, w1, w2, 0))
+            if extra_r7:
+                for u in nb_vals:
+                    for w1 in nb_vals:
+                        cases.append((iuv_reps[0], iuv_reps[1], w1, nb_reps[0], u))
+            for v1, v2, w1, w2, u in cases:
+                if cfg.max_contexts and len(contexts) >= cfg.max_contexts:
+                    truncated = True
+                    break
+                overrides = self._overrides(v1, v2, w1, w2)
+                if extra_r7:
+                    overrides["arf_w7"] = u
+                contexts.append(
+                    self._context(
+                        script_fn(),
+                        overrides,
+                        # machine-parsable: label|v1,v2|w1,w2,u
+                        "%s|%d,%d|%d,%d,%d" % (label, v1, v2, w1, w2, u),
+                        taint=taint,
+                    )
+                )
+            groups.append(
+                ContextGroup(
+                    iuv_pc=slot_pc(slot),
+                    contexts=contexts,
+                    complete=not truncated,
+                    label=label,
+                    taint_pc=slot_pc(t_slot),
+                )
+            )
+
+        if assumption == "intrinsic":
+            if transmitter != transponder:
+                return []
+            word = p_word
+            collect(0, 0, lambda: [("feed", (word,))], "intrinsic")
+            # Assumption 1 only constrains iT == iP; other (untainted)
+            # instructions may surround the pair.  Neighbour shapes surface
+            # intrinsic decisions that need co-runners -- e.g. a store's own
+            # address deciding its comSTB drain against younger loads.
+            for nb in cfg.neighbors:
+                nb_word = self._neighbor_word(nb)
+                nb2_word = isa.encode(nb, rd=0, rs1=7, rs2=7)
+                collect(
+                    1, 1, lambda w=nb_word: [("feed", (w, word))],
+                    "intr-after-%s" % nb,
+                )
+                collect(
+                    0, 0,
+                    lambda w=nb_word, w2=nb2_word: [("feed", (word, w, w2))],
+                    "intr-before-%s" % nb,
+                    extra_r7=True,
+                )
+        elif assumption == "dynamic_older":
+            t_word = self._neighbor_word(transmitter)
+            collect(
+                1, 0, lambda: [("feed", (t_word, p_word))], "dyn-older-%s" % transmitter
+            )
+            # deep shape: T, FILL, FILL, P -- the transponder stalls in ID
+            # behind a full scoreboard whose drain time depends on T
+            fill_word = isa.encode("ADD", rd=0, rs1=0, rs2=0)
+            collect(
+                3,
+                0,
+                lambda: [("feed", (t_word, fill_word, fill_word, p_word))],
+                "dyn-older-deep-%s" % transmitter,
+            )
+        elif assumption == "dynamic_younger":
+            t_word = self._neighbor_word(transmitter)
+            collect(
+                0, 1, lambda: [("feed", (p_word, t_word))], "dyn-younger-%s" % transmitter
+            )
+            # deep shape: P, T, T' -- a second younger transmitter instance
+            # contends for the memory port while P's committed store drains
+            t2_word = isa.encode(transmitter, rd=0, rs1=7, rs2=7)
+            collect(
+                0,
+                2,
+                lambda: [("feed", (p_word, t_word, t2_word))],
+                "dyn-younger-deep-%s" % transmitter,
+                extra_r7=True,
+            )
+        elif assumption == "static":
+            t_word = self._neighbor_word(transmitter)
+            collect(
+                1,
+                0,
+                lambda: [
+                    ("feed", (t_word,)),
+                    ("wait_quiesce",),
+                    ("flush",),
+                    ("feed", (p_word,)),
+                ],
+                "static-%s" % transmitter,
+            )
+        else:
+            raise ValueError("unknown assumption %r" % assumption)
+        return groups

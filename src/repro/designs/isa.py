@@ -1,0 +1,219 @@
+"""The instruction set of the case-study cores.
+
+The paper's CVA6 case study covers "all 72 instructions in the RV64I ISA
+and M extension" (SS VI).  We reproduce that instruction inventory exactly
+-- the same 72 mnemonics, with the same functional-class structure that
+drives Fig. 8's transmitter/transponder grouping:
+
+* 8 division/remainder variants  (intrinsic transmitters),
+* 7 load variants                (intrinsic transmitters),
+* 4 store variants               (intrinsic transmitters),
+* 6 conditional branches + JALR  (dynamic transmitters),
+* the remaining ALU/CSR/fence/system instructions.
+
+Because our cores are width-scaled (the paper itself down-scales CVA6 for
+formal verification, SS VI), instructions use a compact 16-bit encoding:
+
+    [15:9] opcode (7 bits)   [8:6] rd   [5:3] rs1   [2:0] rs2 / imm3
+
+W-suffixed variants share datapaths with their base forms at reduced
+width, exactly as the paper's variants share leakage signatures per class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "InstrSpec",
+    "INSTRUCTIONS",
+    "BY_NAME",
+    "CLASSES",
+    "encode",
+    "decode",
+    "Instr",
+    "OPCODE_BITS",
+    "ENCODING_BITS",
+]
+
+OPCODE_BITS = 7
+ENCODING_BITS = 16
+
+# functional-unit classes (decode routes on these)
+CLS_ALU = "alu"
+CLS_MUL = "mul"
+CLS_DIV = "div"
+CLS_LOAD = "load"
+CLS_STORE = "store"
+CLS_BRANCH = "branch"
+CLS_JAL = "jal"
+CLS_JALR = "jalr"
+CLS_SYSTEM = "system"
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one implemented instruction."""
+
+    name: str
+    opcode: int
+    cls: str
+    reads_rs1: bool = True
+    reads_rs2: bool = True
+    writes_rd: bool = True
+    signed: bool = False  # signed divide/remainder: divisor-sign fixup cycle
+    alu_op: str = "add"  # operation selector within the ALU
+
+
+def _build_instruction_table() -> List[InstrSpec]:
+    table: List[InstrSpec] = []
+
+    def add(name, cls, reads_rs1=True, reads_rs2=True, writes_rd=True,
+            signed=False, alu_op="add"):
+        table.append(
+            InstrSpec(
+                name=name,
+                opcode=len(table),
+                cls=cls,
+                reads_rs1=reads_rs1,
+                reads_rs2=reads_rs2,
+                writes_rd=writes_rd,
+                signed=signed,
+                alu_op=alu_op,
+            )
+        )
+
+    # --- RV64I register-register ALU (10)
+    add("ADD", CLS_ALU, alu_op="add")
+    add("SUB", CLS_ALU, alu_op="sub")
+    add("SLL", CLS_ALU, alu_op="sll")
+    add("SLT", CLS_ALU, alu_op="slt")
+    add("SLTU", CLS_ALU, alu_op="sltu")
+    add("XOR", CLS_ALU, alu_op="xor")
+    add("SRL", CLS_ALU, alu_op="srl")
+    add("SRA", CLS_ALU, alu_op="srl")
+    add("OR", CLS_ALU, alu_op="or")
+    add("AND", CLS_ALU, alu_op="and")
+    # --- RV64I register-immediate ALU (9): rs2 field is imm3
+    add("ADDI", CLS_ALU, reads_rs2=False, alu_op="addi")
+    add("SLTI", CLS_ALU, reads_rs2=False, alu_op="slti")
+    add("SLTIU", CLS_ALU, reads_rs2=False, alu_op="slti")
+    add("XORI", CLS_ALU, reads_rs2=False, alu_op="xori")
+    add("ORI", CLS_ALU, reads_rs2=False, alu_op="ori")
+    add("ANDI", CLS_ALU, reads_rs2=False, alu_op="andi")
+    add("SLLI", CLS_ALU, reads_rs2=False, alu_op="slli")
+    add("SRLI", CLS_ALU, reads_rs2=False, alu_op="srli")
+    add("SRAI", CLS_ALU, reads_rs2=False, alu_op="srli")
+    # --- RV64I W-suffixed ALU (9): share datapaths at reduced width
+    add("ADDIW", CLS_ALU, reads_rs2=False, alu_op="addi")
+    add("SLLIW", CLS_ALU, reads_rs2=False, alu_op="slli")
+    add("SRLIW", CLS_ALU, reads_rs2=False, alu_op="srli")
+    add("SRAIW", CLS_ALU, reads_rs2=False, alu_op="srli")
+    add("ADDW", CLS_ALU, alu_op="add")
+    add("SUBW", CLS_ALU, alu_op="sub")
+    add("SLLW", CLS_ALU, alu_op="sll")
+    add("SRLW", CLS_ALU, alu_op="srl")
+    add("SRAW", CLS_ALU, alu_op="srl")
+    # --- upper-immediate (2)
+    add("LUI", CLS_ALU, reads_rs1=False, reads_rs2=False, alu_op="lui")
+    add("AUIPC", CLS_ALU, reads_rs1=False, reads_rs2=False, alu_op="auipc")
+    # --- control flow (8)
+    add("JAL", CLS_JAL, reads_rs1=False, reads_rs2=False)
+    add("JALR", CLS_JALR, reads_rs2=False)
+    add("BEQ", CLS_BRANCH, writes_rd=False)
+    add("BNE", CLS_BRANCH, writes_rd=False)
+    add("BLT", CLS_BRANCH, writes_rd=False, signed=True)
+    add("BGE", CLS_BRANCH, writes_rd=False, signed=True)
+    add("BLTU", CLS_BRANCH, writes_rd=False)
+    add("BGEU", CLS_BRANCH, writes_rd=False)
+    # --- loads (7)
+    for name in ("LB", "LH", "LW", "LD", "LBU", "LHU", "LWU"):
+        add(name, CLS_LOAD, reads_rs2=False)
+    # --- stores (4)
+    for name in ("SB", "SH", "SW", "SD"):
+        add(name, CLS_STORE, writes_rd=False)
+    # --- fences (2): no-ops through the ALU path
+    add("FENCE", CLS_ALU, reads_rs1=False, reads_rs2=False, writes_rd=False, alu_op="nop")
+    add("FENCE.I", CLS_ALU, reads_rs1=False, reads_rs2=False, writes_rd=False, alu_op="nop")
+    # --- system (2): raise an environment-call exception at commit
+    add("ECALL", CLS_SYSTEM, reads_rs1=False, reads_rs2=False, writes_rd=False)
+    add("EBREAK", CLS_SYSTEM, reads_rs1=False, reads_rs2=False, writes_rd=False)
+    # --- Zicsr (6): modeled through the CSR-buffer-as-ALU path
+    add("CSRRW", CLS_ALU, reads_rs2=False, alu_op="csr")
+    add("CSRRS", CLS_ALU, reads_rs2=False, alu_op="csr")
+    add("CSRRC", CLS_ALU, reads_rs2=False, alu_op="csr")
+    add("CSRRWI", CLS_ALU, reads_rs1=False, reads_rs2=False, alu_op="csri")
+    add("CSRRSI", CLS_ALU, reads_rs1=False, reads_rs2=False, alu_op="csri")
+    add("CSRRCI", CLS_ALU, reads_rs1=False, reads_rs2=False, alu_op="csri")
+    # --- M extension: multiplies (5)
+    add("MUL", CLS_MUL)
+    add("MULH", CLS_MUL)
+    add("MULHSU", CLS_MUL)
+    add("MULHU", CLS_MUL)
+    add("MULW", CLS_MUL)
+    # --- M extension: divides / remainders (8)
+    add("DIV", CLS_DIV, signed=True)
+    add("DIVU", CLS_DIV)
+    add("REM", CLS_DIV, signed=True)
+    add("REMU", CLS_DIV)
+    add("DIVW", CLS_DIV, signed=True)
+    add("DIVUW", CLS_DIV)
+    add("REMW", CLS_DIV, signed=True)
+    add("REMUW", CLS_DIV)
+    return table
+
+
+INSTRUCTIONS: Tuple[InstrSpec, ...] = tuple(_build_instruction_table())
+BY_NAME: Dict[str, InstrSpec] = {spec.name: spec for spec in INSTRUCTIONS}
+
+CLASSES: Dict[str, Tuple[str, ...]] = {}
+for _spec in INSTRUCTIONS:
+    CLASSES.setdefault(_spec.cls, ())
+    CLASSES[_spec.cls] = CLASSES[_spec.cls] + (_spec.name,)
+
+assert len(INSTRUCTIONS) == 72, "paper's RV64IM inventory is 72 instructions"
+
+
+@dataclass(frozen=True)
+class Instr:
+    """A decoded instruction word."""
+
+    spec: InstrSpec
+    rd: int
+    rs1: int
+    rs2: int  # also the 3-bit immediate for I-type / branch offsets
+
+    @property
+    def imm(self) -> int:
+        return self.rs2
+
+    def __repr__(self):
+        return "%s rd=%d rs1=%d rs2/imm=%d" % (
+            self.spec.name,
+            self.rd,
+            self.rs1,
+            self.rs2,
+        )
+
+
+def encode(name: str, rd: int = 0, rs1: int = 0, rs2: int = 0) -> int:
+    """Encode an instruction word; ``rs2`` doubles as the 3-bit immediate."""
+    spec = BY_NAME[name]
+    for field_name, value in (("rd", rd), ("rs1", rs1), ("rs2", rs2)):
+        if not 0 <= value < 8:
+            raise ValueError("%s field %d out of range [0,8)" % (field_name, value))
+    return (spec.opcode << 9) | (rd << 6) | (rs1 << 3) | rs2
+
+
+def decode(word: int) -> Instr:
+    """Decode an instruction word; raises ``ValueError`` on bad opcodes."""
+    opcode = (word >> 9) & 0x7F
+    if opcode >= len(INSTRUCTIONS):
+        raise ValueError("invalid opcode %d" % opcode)
+    return Instr(
+        spec=INSTRUCTIONS[opcode],
+        rd=(word >> 6) & 7,
+        rs1=(word >> 3) & 7,
+        rs2=word & 7,
+    )

@@ -1,0 +1,5 @@
+"""CellIFT-style information-flow-tracking instrumentation."""
+
+from .cellift import TAINT_SUFFIX, IftConfig, IftDesign, instrument_ift
+
+__all__ = ["TAINT_SUFFIX", "IftConfig", "IftDesign", "instrument_ift"]

@@ -1,0 +1,167 @@
+"""SAT-backed bounded model checking.
+
+:class:`BmcContext` unrolls a netlist once over a symbolic context (free or
+constrained inputs per cycle, symbolically initialized architectural state)
+and then answers many cover queries against that single unrolling with
+solver assumptions -- the same amortization a commercial property verifier
+performs when it compiles the design once and evaluates a property file.
+
+Verdicts:
+
+* SAT on the cover target  -> ``REACHABLE`` plus a concrete witness trace;
+* UNSAT when the caller declared the horizon complete -> ``UNREACHABLE``;
+* UNSAT under an incomplete horizon, or conflict budget exhausted
+  -> ``UNDETERMINED``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..props.query import Query
+from ..props.views import SymbolicOps, SymbolicTraceView
+from ..rtl.netlist import Netlist
+from ..solver.bitblast import Frame, blast_frame
+from ..solver.bits import BitBuilder
+from ..solver.sat import SAT, UNKNOWN, UNSAT, SatSolver
+from .outcomes import REACHABLE, UNDETERMINED, UNREACHABLE, CheckResult
+from .stats import PropertyStats
+
+__all__ = ["BmcContext", "SymbolicContextSpec"]
+
+
+class SymbolicContextSpec:
+    """Declares how the symbolic environment drives the DUV.
+
+    ``symbolic_registers``: register names whose initial value is free
+    (architectural state under the paper's valid-reset-state convention);
+    all other registers start at their RTL reset value.
+
+    ``drive``: callable ``(builder, cycle) -> {input_name: bits or int}``.
+    Inputs omitted from the returned dict are free (fresh variables).
+
+    ``constrain``: optional callable ``(builder, frames) -> [literals]``
+    returning environment assumptions (e.g. "fetch inputs always carry a
+    valid encoding"), asserted globally.
+    """
+
+    def __init__(self, symbolic_registers=(), drive=None, constrain=None):
+        self.symbolic_registers = frozenset(symbolic_registers)
+        self.drive = drive
+        self.constrain = constrain
+
+
+class BmcContext:
+    """One unrolling of ``netlist`` for ``horizon`` cycles."""
+
+    name = "bmc"
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        horizon: int,
+        context: Optional[SymbolicContextSpec] = None,
+        complete_horizon: bool = False,
+        conflict_budget: Optional[int] = 200000,
+        stats: Optional[PropertyStats] = None,
+    ):
+        self.netlist = netlist
+        self.horizon = horizon
+        self.context = context or SymbolicContextSpec()
+        self.complete_horizon = complete_horizon
+        self.conflict_budget = conflict_budget
+        self.stats = stats
+
+        self.solver = SatSolver()
+        self.builder = BitBuilder(self.solver)
+        self.frames: List[Frame] = []
+        self._unroll()
+        self.view = SymbolicTraceView(self.frames, self.builder)
+        self.ops = SymbolicOps(self.builder)
+
+    # ------------------------------------------------------------------ build
+    def _unroll(self):
+        builder = self.builder
+        state: Dict[str, List[int]] = {}
+        for reg, _ in self.netlist.registers:
+            if reg.name in self.context.symbolic_registers:
+                state[reg.name] = builder.fresh_word(reg.width)
+            else:
+                state[reg.name] = builder.const_word(reg.reset, reg.width)
+        for t in range(self.horizon):
+            input_bits = self._drive_inputs(t)
+            frame = blast_frame(builder, self.netlist, state, input_bits)
+            self.frames.append(frame)
+            state = frame.next_state
+        if self.context.constrain is not None:
+            for lit in self.context.constrain(builder, self.frames):
+                self.solver.add_clause([lit])
+
+    def _drive_inputs(self, t) -> Dict[str, List[int]]:
+        builder = self.builder
+        driven = self.context.drive(builder, t) if self.context.drive else {}
+        input_bits: Dict[str, List[int]] = {}
+        for node in self.netlist.inputs:
+            if node.name in driven:
+                value = driven[node.name]
+                if isinstance(value, int):
+                    value = builder.const_word(value, node.width)
+                input_bits[node.name] = value
+            else:
+                input_bits[node.name] = builder.fresh_word(node.width)
+        return input_bits
+
+    # ------------------------------------------------------------------ check
+    def check(self, query: Query) -> CheckResult:
+        start = time.perf_counter()
+        assumptions = []
+        for expr in query.assumes:
+            combined = self.builder.TRUE
+            for t in range(self.horizon):
+                combined = self.builder.and_(
+                    combined, expr.evaluate(self.view, t, self.ops)
+                )
+            assumptions.append(combined)
+        target = query.prop.evaluate(self.view, self.ops)
+        assumptions.append(target)
+        verdict = self.solver.solve(
+            assumptions=assumptions, max_conflicts=self.conflict_budget
+        )
+        if verdict == SAT:
+            outcome = REACHABLE
+            witness = self._extract_witness()
+            detail = ""
+        elif verdict == UNSAT:
+            if self.complete_horizon:
+                outcome = UNREACHABLE
+                detail = "UNSAT within declared-complete horizon"
+            else:
+                outcome = UNDETERMINED
+                detail = "UNSAT within bounded horizon %d" % self.horizon
+            witness = None
+        else:
+            outcome = UNDETERMINED
+            detail = "conflict budget exhausted"
+            witness = None
+        result = CheckResult(
+            query_name=query.name,
+            outcome=outcome,
+            engine=self.name,
+            witness=witness,
+            time_seconds=time.perf_counter() - start,
+            detail=detail,
+        )
+        if self.stats is not None:
+            self.stats.record(result)
+        return result
+
+    def _extract_witness(self) -> List[Dict[str, int]]:
+        witness = []
+        for frame in self.frames:
+            observation = {
+                name: self.builder.word_value(bits)
+                for name, bits in frame.named.items()
+            }
+            witness.append(observation)
+        return witness

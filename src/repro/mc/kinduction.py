@@ -1,0 +1,146 @@
+"""k-induction: unbounded proofs of state invariants.
+
+Used by RTL2MuPATH's first pruning step (DUV-level PL reachability,
+SS V-B1): proving that a performing location is unreachable by *any*
+instruction is an invariant proof, not a bounded cover, so BMC alone cannot
+conclude it.  k-induction establishes ``G !bad``:
+
+* **base**: no state within k steps of reset satisfies ``bad``;
+* **step**: no length-(k+1) path of *arbitrary* states, all of whose first
+  k states avoid ``bad``, ends in ``bad`` (with simple-path strengthening
+  on request).
+
+Both checks honor a conflict budget and can report UNDETERMINED.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..props.exprs import CycleExpr
+from ..props.views import SymbolicOps, SymbolicTraceView
+from ..rtl.netlist import Netlist
+from ..solver.bitblast import blast_frame
+from ..solver.bits import BitBuilder
+from ..solver.sat import SAT, UNKNOWN, UNSAT, SatSolver
+from .outcomes import REACHABLE, UNDETERMINED, UNREACHABLE, CheckResult
+
+__all__ = ["prove_unreachable_kinduction"]
+
+
+def _unroll(builder, netlist, initial_state, horizon, solver):
+    frames = []
+    state = initial_state
+    for _ in range(horizon):
+        input_bits = {
+            node.name: builder.fresh_word(node.width) for node in netlist.inputs
+        }
+        frame = blast_frame(builder, netlist, state, input_bits)
+        frames.append(frame)
+        state = frame.next_state
+    return frames
+
+
+def _state_equal(builder, state_a, state_b):
+    bits = []
+    for name in state_a:
+        bits.append(builder.word_eq(state_a[name], state_b[name]))
+    return builder.and_many(bits)
+
+
+def prove_unreachable_kinduction(
+    netlist: Netlist,
+    bad: CycleExpr,
+    k: int = 4,
+    symbolic_registers=(),
+    conflict_budget: Optional[int] = 200000,
+    simple_path: bool = True,
+) -> CheckResult:
+    """Try to prove ``bad`` globally unreachable via k-induction.
+
+    Returns REACHABLE (base-case witness), UNREACHABLE (induction closed),
+    or UNDETERMINED (induction failed at this k, or budget exhausted).
+    """
+    start = time.perf_counter()
+    symbolic_registers = frozenset(symbolic_registers)
+
+    # ---- base case: BMC from reset for k steps
+    base_solver = SatSolver()
+    base_builder = BitBuilder(base_solver)
+    reset_state: Dict[str, List[int]] = {}
+    for reg, _ in netlist.registers:
+        if reg.name in symbolic_registers:
+            reset_state[reg.name] = base_builder.fresh_word(reg.width)
+        else:
+            reset_state[reg.name] = base_builder.const_word(reg.reset, reg.width)
+    base_frames = _unroll(base_builder, netlist, reset_state, k, base_solver)
+    base_view = SymbolicTraceView(base_frames, base_builder)
+    base_ops = SymbolicOps(base_builder)
+    target = base_builder.FALSE
+    for t in range(k):
+        target = base_builder.or_(target, bad.evaluate(base_view, t, base_ops))
+    verdict = base_solver.solve(assumptions=[target], max_conflicts=conflict_budget)
+    if verdict == SAT:
+        witness = [
+            {name: base_builder.word_value(bits) for name, bits in frame.named.items()}
+            for frame in base_frames
+        ]
+        return CheckResult(
+            query_name="kind(%r)" % (bad,),
+            outcome=REACHABLE,
+            engine="k-induction",
+            witness=witness,
+            time_seconds=time.perf_counter() - start,
+            detail="base-case witness at k=%d" % k,
+        )
+    if verdict == UNKNOWN:
+        return CheckResult(
+            query_name="kind(%r)" % (bad,),
+            outcome=UNDETERMINED,
+            engine="k-induction",
+            time_seconds=time.perf_counter() - start,
+            detail="base case budget exhausted",
+        )
+
+    # ---- inductive step: arbitrary start state, k good steps, bad at k
+    step_solver = SatSolver()
+    step_builder = BitBuilder(step_solver)
+    free_state: Dict[str, List[int]] = {
+        reg.name: step_builder.fresh_word(reg.width) for reg, _ in netlist.registers
+    }
+    step_frames = _unroll(step_builder, netlist, free_state, k + 1, step_solver)
+    step_view = SymbolicTraceView(step_frames, step_builder)
+    step_ops = SymbolicOps(step_builder)
+    for t in range(k):
+        good = -bad.evaluate(step_view, t, step_ops)
+        step_solver.add_clause([good])
+    if simple_path:
+        states = [free_state] + [frame.next_state for frame in step_frames[:-1]]
+        for i in range(len(states)):
+            for j in range(i + 1, len(states)):
+                same = _state_equal(step_builder, states[i], states[j])
+                step_solver.add_clause([-same])
+    bad_at_k = bad.evaluate(step_view, k, step_ops)
+    verdict = step_solver.solve(assumptions=[bad_at_k], max_conflicts=conflict_budget)
+    elapsed = time.perf_counter() - start
+    if verdict == UNSAT:
+        return CheckResult(
+            query_name="kind(%r)" % (bad,),
+            outcome=UNREACHABLE,
+            engine="k-induction",
+            time_seconds=elapsed,
+            detail="induction closed at k=%d" % k,
+        )
+    detail = (
+        "induction step SAT (k too small or property not inductive)"
+        if verdict == SAT
+        else "induction step budget exhausted"
+    )
+    return CheckResult(
+        query_name="kind(%r)" % (bad,),
+        outcome=UNDETERMINED,
+        engine="k-induction",
+        time_seconds=elapsed,
+        detail=detail,
+    )

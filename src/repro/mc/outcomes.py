@@ -1,0 +1,50 @@
+"""Model-checker verdicts.
+
+The paper's entire methodology is phrased over the three JasperGold cover
+outcomes (SS V-B): *reachable* (a witness trace exists), *unreachable* (a
+proof that none exists), and *undetermined* (timeout / resource limits).
+``UNDETERMINED`` handling is load-bearing: RTL2MuPATH/SynthLC can interpret
+it as reachable or unreachable, trading completeness against soundness
+(SS VII-B4), and our engines reproduce that trichotomy honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["REACHABLE", "UNREACHABLE", "UNDETERMINED", "CheckResult"]
+
+REACHABLE = "reachable"
+UNREACHABLE = "unreachable"
+UNDETERMINED = "undetermined"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one query evaluation."""
+
+    query_name: str
+    outcome: str
+    engine: str
+    witness: Optional[List[Dict[str, int]]] = None  # per-cycle observations
+    time_seconds: float = 0.0
+    detail: str = ""
+
+    @property
+    def reachable(self):
+        return self.outcome == REACHABLE
+
+    @property
+    def unreachable(self):
+        return self.outcome == UNREACHABLE
+
+    @property
+    def undetermined(self):
+        return self.outcome == UNDETERMINED
+
+    def interpret_undetermined(self, as_outcome: str) -> str:
+        """Resolve an undetermined verdict per tool configuration (SS VII-B4)."""
+        if self.outcome == UNDETERMINED:
+            return as_outcome
+        return self.outcome

@@ -1,0 +1,66 @@
+"""Property-evaluation statistics.
+
+Reproduces the accounting of SS VII-B3: number of properties evaluated,
+mean time per property, and the fraction of undetermined outcomes, broken
+down by tool phase (RTL2MuPATH vs SynthLC) and DUV (core vs cache).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .outcomes import CheckResult
+
+__all__ = ["PropertyStats"]
+
+
+@dataclass
+class PropertyStats:
+    """Mutable accumulator shared by a verification run."""
+
+    label: str = ""
+    results: List[CheckResult] = field(default_factory=list)
+
+    def record(self, result: CheckResult):
+        self.results.append(result)
+
+    @property
+    def count(self):
+        return len(self.results)
+
+    @property
+    def total_time(self):
+        return sum(r.time_seconds for r in self.results)
+
+    @property
+    def mean_time(self):
+        return self.total_time / self.count if self.count else 0.0
+
+    @property
+    def outcome_histogram(self) -> Dict[str, int]:
+        return dict(Counter(r.outcome for r in self.results))
+
+    @property
+    def undetermined_fraction(self):
+        if not self.count:
+            return 0.0
+        histogram = self.outcome_histogram
+        return histogram.get("undetermined", 0) / self.count
+
+    def merged(self, other: "PropertyStats") -> "PropertyStats":
+        merged = PropertyStats(label="%s+%s" % (self.label, other.label))
+        merged.results = list(self.results) + list(other.results)
+        return merged
+
+    def summary(self) -> str:
+        return (
+            "%s: %d properties, %.4fs/property mean, %.2f%% undetermined"
+            % (
+                self.label or "run",
+                self.count,
+                self.mean_time,
+                100.0 * self.undetermined_fraction,
+            )
+        )

@@ -1,0 +1,54 @@
+"""Property layer: SVA-style cover/assume templates with dual semantics."""
+
+from .exprs import (
+    AndExpr,
+    ConstBool,
+    CycleExpr,
+    EqWord,
+    NotExpr,
+    OrExpr,
+    SigBit,
+    all_of,
+    any_of,
+    eq,
+    none_of,
+    sig,
+)
+from .trace_props import (
+    ConsecutiveRevisit,
+    ConsecutiveRunLength,
+    Eventually,
+    NonConsecutiveRevisit,
+    Sequence,
+    TraceProp,
+    VisitedCover,
+)
+from .views import ConcreteOps, ConcreteTraceView, SymbolicOps, SymbolicTraceView
+from .query import Query
+
+__all__ = [
+    "AndExpr",
+    "ConstBool",
+    "CycleExpr",
+    "EqWord",
+    "NotExpr",
+    "OrExpr",
+    "SigBit",
+    "all_of",
+    "any_of",
+    "eq",
+    "none_of",
+    "sig",
+    "ConsecutiveRevisit",
+    "ConsecutiveRunLength",
+    "Eventually",
+    "NonConsecutiveRevisit",
+    "Sequence",
+    "TraceProp",
+    "VisitedCover",
+    "ConcreteOps",
+    "ConcreteTraceView",
+    "SymbolicOps",
+    "SymbolicTraceView",
+    "Query",
+]

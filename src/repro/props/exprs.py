@@ -1,0 +1,172 @@
+"""Cycle expressions: boolean conditions over one cycle of a trace.
+
+These are the building blocks of the paper's SVA property templates.  Each
+expression evaluates against a *view* (one cycle of observation) under an
+*ops* adapter, so a single expression definition works both concretely
+(Python bools, over simulated traces) and symbolically (SAT literals, over
+unrolled bit-blasted frames).
+
+Expressions reference signals by the names the design exposed via
+``Module.name_signal`` -- the same indirection the paper uses when design
+metadata points SVA templates at RTL signals.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "CycleExpr",
+    "SigBit",
+    "ConstBool",
+    "EqWord",
+    "NotExpr",
+    "AndExpr",
+    "OrExpr",
+    "sig",
+    "eq",
+    "all_of",
+    "any_of",
+    "none_of",
+]
+
+
+class CycleExpr:
+    """Base class; subclasses implement ``evaluate(view, t, ops)``."""
+
+    def evaluate(self, view, t, ops):
+        raise NotImplementedError
+
+    def __and__(self, other):
+        return AndExpr((self, other))
+
+    def __or__(self, other):
+        return OrExpr((self, other))
+
+    def __invert__(self):
+        return NotExpr(self)
+
+    def signals(self):
+        """All signal names this expression reads (for cone pruning)."""
+        raise NotImplementedError
+
+
+class SigBit(CycleExpr):
+    """A named 1-bit signal (truthiness of the word for wider signals)."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def evaluate(self, view, t, ops):
+        return view.bit(self.name, t)
+
+    def signals(self):
+        return {self.name}
+
+    def __repr__(self):
+        return "sig(%s)" % self.name
+
+
+class ConstBool(CycleExpr):
+    def __init__(self, value):
+        self.value = bool(value)
+
+    def evaluate(self, view, t, ops):
+        return ops.TRUE if self.value else ops.FALSE
+
+    def signals(self):
+        return set()
+
+    def __repr__(self):
+        return "const(%s)" % self.value
+
+
+class EqWord(CycleExpr):
+    """``signal == constant`` over a multi-bit named signal."""
+
+    def __init__(self, name, value):
+        self.name = name
+        self.value = value
+
+    def evaluate(self, view, t, ops):
+        return view.word_eq_const(self.name, self.value, t)
+
+    def signals(self):
+        return {self.name}
+
+    def __repr__(self):
+        return "eq(%s, %d)" % (self.name, self.value)
+
+
+class NotExpr(CycleExpr):
+    def __init__(self, inner):
+        self.inner = inner
+
+    def evaluate(self, view, t, ops):
+        return ops.not_(self.inner.evaluate(view, t, ops))
+
+    def signals(self):
+        return self.inner.signals()
+
+    def __repr__(self):
+        return "~%r" % (self.inner,)
+
+
+class AndExpr(CycleExpr):
+    def __init__(self, parts: Sequence[CycleExpr]):
+        self.parts = tuple(parts)
+
+    def evaluate(self, view, t, ops):
+        out = ops.TRUE
+        for part in self.parts:
+            out = ops.and_(out, part.evaluate(view, t, ops))
+        return out
+
+    def signals(self):
+        out = set()
+        for part in self.parts:
+            out |= part.signals()
+        return out
+
+    def __repr__(self):
+        return "(%s)" % " & ".join(repr(p) for p in self.parts)
+
+
+class OrExpr(CycleExpr):
+    def __init__(self, parts: Sequence[CycleExpr]):
+        self.parts = tuple(parts)
+
+    def evaluate(self, view, t, ops):
+        out = ops.FALSE
+        for part in self.parts:
+            out = ops.or_(out, part.evaluate(view, t, ops))
+        return out
+
+    def signals(self):
+        out = set()
+        for part in self.parts:
+            out |= part.signals()
+        return out
+
+    def __repr__(self):
+        return "(%s)" % " | ".join(repr(p) for p in self.parts)
+
+
+def sig(name) -> SigBit:
+    return SigBit(name)
+
+
+def eq(name, value) -> EqWord:
+    return EqWord(name, value)
+
+
+def all_of(*exprs) -> CycleExpr:
+    return AndExpr(exprs) if exprs else ConstBool(True)
+
+
+def any_of(*exprs) -> CycleExpr:
+    return OrExpr(exprs) if exprs else ConstBool(False)
+
+
+def none_of(*exprs) -> CycleExpr:
+    return NotExpr(OrExpr(exprs)) if exprs else ConstBool(True)

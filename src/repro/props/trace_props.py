@@ -1,0 +1,220 @@
+"""Trace-level properties: the paper's SVA cover-property templates.
+
+Each class corresponds to one of the templates RTL2MuPATH / SynthLC
+instantiate (paper SS V-B, SS V-C1):
+
+* :class:`Eventually` -- PL reachability covers.
+* :class:`Sequence` -- ``a ##1 b`` covers: happens-before edges and
+  decision-taint properties.
+* :class:`VisitedCover` -- covers over sticky ``*_visited`` bits, gated on a
+  condition (e.g. "the IUV has disappeared from the processor"); used for
+  dominates / exclusive pruning and PL-set reachability.
+* :class:`ConsecutiveRevisit` / :class:`NonConsecutiveRevisit` -- revisit
+  classification for the cycle-accurate uHB extension (SS III-B, SS V-B4).
+* :class:`ConsecutiveRunLength` -- "occupies PL for exactly l consecutive
+  cycles" covers, used for revisit-cycle-count synthesis (SS V-B6).
+
+A property evaluates over a view+ops pair to a boolean (concrete) or SAT
+literal (symbolic) meaning "this bounded trace satisfies the cover".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence as Seq
+
+from .exprs import CycleExpr
+
+__all__ = [
+    "TraceProp",
+    "Eventually",
+    "Sequence",
+    "VisitedCover",
+    "ConsecutiveRevisit",
+    "NonConsecutiveRevisit",
+    "ConsecutiveRunLength",
+]
+
+
+class TraceProp:
+    def evaluate(self, view, ops):
+        raise NotImplementedError
+
+    def signals(self):
+        raise NotImplementedError
+
+
+class Eventually(TraceProp):
+    """exists t: expr@t."""
+
+    def __init__(self, expr: CycleExpr):
+        self.expr = expr
+
+    def evaluate(self, view, ops):
+        out = ops.FALSE
+        for t in range(view.horizon):
+            out = ops.or_(out, self.expr.evaluate(view, t, ops))
+            if out is True:  # concrete short-circuit
+                return out
+        return out
+
+    def signals(self):
+        return self.expr.signals()
+
+    def __repr__(self):
+        return "Eventually(%r)" % (self.expr,)
+
+
+class Sequence(TraceProp):
+    """exists t: first@t and second@(t+1)  --  the SVA ``##1`` shape."""
+
+    def __init__(self, first: CycleExpr, second: CycleExpr):
+        self.first = first
+        self.second = second
+
+    def evaluate(self, view, ops):
+        out = ops.FALSE
+        for t in range(view.horizon - 1):
+            hit = ops.and_(
+                self.first.evaluate(view, t, ops),
+                self.second.evaluate(view, t + 1, ops),
+            )
+            out = ops.or_(out, hit)
+            if out is True:
+                return out
+        return out
+
+    def signals(self):
+        return self.first.signals() | self.second.signals()
+
+    def __repr__(self):
+        return "Sequence(%r ##1 %r)" % (self.first, self.second)
+
+
+class VisitedCover(TraceProp):
+    """exists t (with gate@t): combo over sticky visited bits holds at t.
+
+    ``positive`` signals must have been visited by cycle t; ``negative``
+    signals must not have been.  ``gate`` (optional) restricts the cycles at
+    which the combo is sampled -- RTL2MuPATH gates PL-set covers on the IUV
+    having left the pipeline (``!(pl_0 | pl_1 | ...)``, SS V-B4).
+    """
+
+    def __init__(self, positive: Seq[CycleExpr], negative: Seq[CycleExpr] = (),
+                 gate: Optional[CycleExpr] = None):
+        self.positive = tuple(positive)
+        self.negative = tuple(negative)
+        self.gate = gate
+
+    def evaluate(self, view, ops):
+        pos_seen = [ops.FALSE] * len(self.positive)
+        neg_seen = [ops.FALSE] * len(self.negative)
+        out = ops.FALSE
+        for t in range(view.horizon):
+            for i, expr in enumerate(self.positive):
+                pos_seen[i] = ops.or_(pos_seen[i], expr.evaluate(view, t, ops))
+            for i, expr in enumerate(self.negative):
+                neg_seen[i] = ops.or_(neg_seen[i], expr.evaluate(view, t, ops))
+            hit = ops.TRUE
+            for bit in pos_seen:
+                hit = ops.and_(hit, bit)
+            for bit in neg_seen:
+                hit = ops.and_(hit, ops.not_(bit))
+            if self.gate is not None:
+                hit = ops.and_(hit, self.gate.evaluate(view, t, ops))
+            out = ops.or_(out, hit)
+            if out is True:
+                return out
+        return out
+
+    def signals(self):
+        names = set()
+        for expr in self.positive + self.negative:
+            names |= expr.signals()
+        if self.gate is not None:
+            names |= self.gate.signals()
+        return names
+
+    def __repr__(self):
+        return "VisitedCover(+%r, -%r, gate=%r)" % (
+            self.positive,
+            self.negative,
+            self.gate,
+        )
+
+
+class ConsecutiveRevisit(TraceProp):
+    """exists t: expr@t and expr@(t+1) -- the PL is held two cycles running."""
+
+    def __init__(self, expr: CycleExpr):
+        self.expr = expr
+
+    def evaluate(self, view, ops):
+        out = ops.FALSE
+        prev = None
+        for t in range(view.horizon):
+            current = self.expr.evaluate(view, t, ops)
+            if prev is not None:
+                out = ops.or_(out, ops.and_(prev, current))
+                if out is True:
+                    return out
+            prev = current
+        return out
+
+    def signals(self):
+        return self.expr.signals()
+
+
+class NonConsecutiveRevisit(TraceProp):
+    """The PL is visited, vacated, and visited again later."""
+
+    def __init__(self, expr: CycleExpr):
+        self.expr = expr
+
+    def evaluate(self, view, ops):
+        visited = ops.FALSE  # expr held at some earlier cycle
+        vacated = ops.FALSE  # ... and a later cycle had !expr
+        out = ops.FALSE
+        for t in range(view.horizon):
+            current = self.expr.evaluate(view, t, ops)
+            out = ops.or_(out, ops.and_(vacated, current))
+            if out is True:
+                return out
+            vacated = ops.or_(vacated, ops.and_(visited, ops.not_(current)))
+            visited = ops.or_(visited, current)
+        return out
+
+    def signals(self):
+        return self.expr.signals()
+
+
+class ConsecutiveRunLength(TraceProp):
+    """exists t: !expr@(t-1), expr for exactly ``length`` cycles, then !expr.
+
+    A run that is still open at the horizon does not count (its true length
+    is unknown), keeping the cover sound under bounded exploration.
+    """
+
+    def __init__(self, expr: CycleExpr, length: int):
+        if length <= 0:
+            raise ValueError("run length must be positive")
+        self.expr = expr
+        self.length = length
+
+    def evaluate(self, view, ops):
+        horizon = view.horizon
+        values = [self.expr.evaluate(view, t, ops) for t in range(horizon)]
+        out = ops.FALSE
+        for start in range(horizon - self.length):
+            hit = ops.TRUE
+            if start > 0:
+                hit = ops.and_(hit, ops.not_(values[start - 1]))
+            for offset in range(self.length):
+                hit = ops.and_(hit, values[start + offset])
+            hit = ops.and_(hit, ops.not_(values[start + self.length]))
+            out = ops.or_(out, hit)
+            if out is True:
+                return out
+        return out
+
+    def signals(self):
+        return self.expr.signals()

@@ -1,0 +1,42 @@
+"""Netlist IR: the elaborated-RTL substrate all tools operate on.
+
+The paper's tools consume SystemVerilog through Verific/Yosys and operate on
+the resulting elaborated netlist.  This package *is* that netlist layer:
+:class:`Module` builds designs, :func:`elaborate` freezes them into
+:class:`Netlist` objects, and :mod:`repro.rtl.analysis` provides the static
+analyses (combinational connectivity, fan-in cones) RTL2MuPATH needs.
+"""
+
+from .nodes import Node, WidthError, cat, mux, redand, redor, sext, trunc, zext
+from .module import Memory, Module, Register
+from .netlist import CombinationalLoopError, Netlist, elaborate
+from .analysis import (
+    comb_connected,
+    comb_fanin_inputs,
+    comb_fanin_registers,
+    connectivity_matrix,
+    registers_feeding_next_state,
+)
+
+__all__ = [
+    "Node",
+    "WidthError",
+    "cat",
+    "mux",
+    "redand",
+    "redor",
+    "sext",
+    "trunc",
+    "zext",
+    "Memory",
+    "Module",
+    "Register",
+    "CombinationalLoopError",
+    "Netlist",
+    "elaborate",
+    "comb_connected",
+    "comb_fanin_inputs",
+    "comb_fanin_registers",
+    "connectivity_matrix",
+    "registers_feeding_next_state",
+]

@@ -1,0 +1,111 @@
+"""Static netlist analysis.
+
+RTL2MuPATH relies on two structural analyses of the elaborated design
+(paper SS V-B5):
+
+* **fan-in cones** -- the set of registers / inputs that can influence a
+  signal through combinational logic only; and
+* **combinational connectivity** between named signals -- used to restrict
+  candidate happens-before edges to PL pairs "connected via pure
+  combinational logic in the DUV".
+
+Both are simple reachability problems over the expression DAG, stopping at
+sequential boundaries (register outputs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from .netlist import Netlist
+from .nodes import Node
+
+__all__ = [
+    "comb_fanin_registers",
+    "comb_fanin_inputs",
+    "registers_feeding_next_state",
+    "comb_connected",
+    "connectivity_matrix",
+]
+
+
+def _walk_comb(node: Node) -> Iterable[Node]:
+    """Yield all nodes in the combinational cone of ``node``.
+
+    Register outputs and inputs are yielded but not traversed through
+    (registers are sequential boundaries; inputs are leaves anyway).
+    """
+    seen: Set[int] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.uid in seen:
+            continue
+        seen.add(current.uid)
+        yield current
+        if current.op == "reg":
+            continue
+        stack.extend(current.args)
+
+
+def comb_fanin_registers(node: Node) -> FrozenSet[str]:
+    """Names of registers whose *current* value combinationally feeds ``node``."""
+    return frozenset(n.name for n in _walk_comb(node) if n.op == "reg")
+
+
+def comb_fanin_inputs(node: Node) -> FrozenSet[str]:
+    """Names of primary inputs that combinationally feed ``node``."""
+    return frozenset(n.name for n in _walk_comb(node) if n.op == "input")
+
+
+def registers_feeding_next_state(netlist: Netlist, register_name: str) -> FrozenSet[str]:
+    """Registers that feed the next-state function of ``register_name``."""
+    for reg, next_node in netlist.registers:
+        if reg.name == register_name:
+            return comb_fanin_registers(next_node)
+    raise KeyError("no register named %r" % register_name)
+
+
+def comb_connected(netlist: Netlist, src_signal: str, dst_signal: str) -> bool:
+    """True when the *state supporting* ``src_signal`` can influence
+    ``dst_signal`` within one cycle.
+
+    ``src`` influences ``dst`` within one cycle when some register in the
+    combinational support of ``src`` feeds (combinationally, possibly
+    through one register update) the support of ``dst``.  This is the
+    structural filter RTL2MuPATH applies before proving candidate HB edges.
+    """
+    src_regs = comb_fanin_registers(netlist.signal(src_signal))
+    dst_regs = comb_fanin_registers(netlist.signal(dst_signal))
+    if src_regs & dst_regs:
+        return True
+    # registers updated as a function of src's support
+    influenced = set()
+    for reg, next_node in netlist.registers:
+        if comb_fanin_registers(next_node) & src_regs:
+            influenced.add(reg.name)
+    return bool(influenced & dst_regs)
+
+
+def connectivity_matrix(netlist: Netlist, signal_names: List[str]) -> Dict[str, Set[str]]:
+    """All-pairs one-cycle-influence relation over ``signal_names``.
+
+    Returns ``{src: {dst, ...}}``.  Computed with the supports cached so the
+    cost is linear in netlist size plus quadratic in the (small) number of
+    named signals, not quadratic netlist walks.
+    """
+    supports = {name: comb_fanin_registers(netlist.signal(name)) for name in signal_names}
+    # register -> registers it feeds next cycle
+    feeds: Dict[str, Set[str]] = {}
+    for reg, next_node in netlist.registers:
+        for upstream in comb_fanin_registers(next_node):
+            feeds.setdefault(upstream, set()).add(reg.name)
+    result: Dict[str, Set[str]] = {name: set() for name in signal_names}
+    for src in signal_names:
+        one_step: Set[str] = set(supports[src])
+        for reg_name in supports[src]:
+            one_step.update(feeds.get(reg_name, ()))
+        for dst in signal_names:
+            if supports[dst] & one_step:
+                result[src].add(dst)
+    return result

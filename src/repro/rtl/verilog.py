@@ -1,0 +1,147 @@
+"""Verilog export of elaborated netlists.
+
+The case-study designs are built in the Python netlist IR; this module
+emits them as synthesizable Verilog-2001 so they can be inspected,
+simulated, or linted with standard EDA tooling.  Each combinational node
+becomes a ``wire``/``assign`` pair, registers become one clocked
+``always`` block with synchronous reset, and named signals surface as
+suffix-free wires (plus module outputs).
+
+The export is for human inspection and external cross-checking; all
+in-repo analyses run on the IR directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .netlist import Netlist
+
+__all__ = ["netlist_to_verilog"]
+
+
+def _escape(name: str) -> str:
+    """Make a legal Verilog identifier (escaping is rare: our names are
+    already [A-Za-z0-9_$], but PL names may contain odd characters)."""
+    if all(c.isalnum() or c in "_$" for c in name) and not name[0].isdigit():
+        return name
+    return "\\%s " % name
+
+
+def _width_decl(width: int) -> str:
+    return "" if width == 1 else "[%d:0] " % (width - 1)
+
+
+def netlist_to_verilog(netlist: Netlist, module_name: str = None) -> str:
+    """Render ``netlist`` as one flat Verilog module."""
+    module_name = module_name or netlist.name
+    wire_name: Dict[int, str] = {}
+    lines: List[str] = []
+
+    ports = ["input wire clk", "input wire rst"]
+    for node in netlist.inputs:
+        ports.append("input wire %s%s" % (_width_decl(node.width), _escape(node.name)))
+        wire_name[node.uid] = _escape(node.name)
+    for name, node in netlist.outputs.items():
+        ports.append("output wire %s%s" % (_width_decl(node.width), _escape(name)))
+
+    lines.append("module %s (" % _escape(module_name))
+    lines.append("  " + ",\n  ".join(ports))
+    lines.append(");")
+    lines.append("")
+
+    for reg, _next in netlist.registers:
+        lines.append(
+            "  reg %s%s; // reset: %d"
+            % (_width_decl(reg.width), _escape(reg.name), reg.reset)
+        )
+        wire_name[reg.q.uid] = _escape(reg.name)
+    lines.append("")
+
+    body: List[str] = []
+    for node in netlist.order:
+        if node.uid in wire_name:
+            continue
+        if node.op == "const":
+            wire_name[node.uid] = "%d'd%d" % (node.width, node.value)
+            continue
+        name = "n%d" % node.uid
+        wire_name[node.uid] = name
+        expr = _node_expr(node, wire_name)
+        body.append(
+            "  wire %s%s = %s;" % (_width_decl(node.width), name, expr)
+        )
+    lines.extend(body)
+    lines.append("")
+
+    for name, node in netlist.named.items():
+        lines.append(
+            "  wire %s%s = %s; // named signal"
+            % (_width_decl(node.width), _escape("sig_" + name), wire_name[node.uid])
+        )
+    for name, node in netlist.outputs.items():
+        lines.append("  assign %s = %s;" % (_escape(name), wire_name[node.uid]))
+    lines.append("")
+
+    lines.append("  always @(posedge clk) begin")
+    lines.append("    if (rst) begin")
+    for reg, _next in netlist.registers:
+        lines.append(
+            "      %s <= %d'd%d;" % (_escape(reg.name), reg.width, reg.reset)
+        )
+    lines.append("    end else begin")
+    for reg, next_node in netlist.registers:
+        lines.append(
+            "      %s <= %s;" % (_escape(reg.name), wire_name[next_node.uid])
+        )
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _node_expr(node, wire_name: Dict[int, str]) -> str:
+    def ref(arg):
+        return wire_name[arg.uid]
+
+    op = node.op
+    if op == "and":
+        return "%s & %s" % (ref(node.args[0]), ref(node.args[1]))
+    if op == "or":
+        return "%s | %s" % (ref(node.args[0]), ref(node.args[1]))
+    if op == "xor":
+        return "%s ^ %s" % (ref(node.args[0]), ref(node.args[1]))
+    if op == "not":
+        return "~%s" % ref(node.args[0])
+    if op == "add":
+        return "%s + %s" % (ref(node.args[0]), ref(node.args[1]))
+    if op == "sub":
+        return "%s - %s" % (ref(node.args[0]), ref(node.args[1]))
+    if op == "mul":
+        return "%s * %s" % (ref(node.args[0]), ref(node.args[1]))
+    if op == "eq":
+        return "%s == %s" % (ref(node.args[0]), ref(node.args[1]))
+    if op == "ult":
+        return "%s < %s" % (ref(node.args[0]), ref(node.args[1]))
+    if op == "shl":
+        return "%s << %d" % (ref(node.args[0]), node.value)
+    if op == "shr":
+        return "%s >> %d" % (ref(node.args[0]), node.value)
+    if op == "mux":
+        sel, a, b = node.args
+        return "%s ? %s : %s" % (ref(sel), ref(a), ref(b))
+    if op == "concat":
+        return "{%s}" % ", ".join(ref(a) for a in node.args)
+    if op == "slice":
+        if node.width == 1:
+            return "%s[%d]" % (ref(node.args[0]), node.value)
+        return "%s[%d:%d]" % (
+            ref(node.args[0]),
+            node.value + node.width - 1,
+            node.value,
+        )
+    if op == "redor":
+        return "|%s" % ref(node.args[0])
+    if op == "redand":
+        return "&%s" % ref(node.args[0])
+    raise NotImplementedError("verilog export: unknown op %r" % op)

@@ -1,0 +1,134 @@
+"""Word-level netlist -> bit-level formula translation.
+
+:func:`blast_frame` instantiates one copy ("frame") of a netlist's
+combinational logic over a :class:`~repro.solver.bits.BitBuilder`, given
+literal vectors for the current register state and primary inputs.  The
+bounded model checker chains frames to unroll the design in time.
+
+Words are lists of literals, LSB first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..rtl.netlist import Netlist
+from .bits import BitBuilder
+
+__all__ = ["blast_frame", "Frame"]
+
+
+class Frame:
+    """One unrolled cycle: state-in, inputs, named-signal and next-state bits."""
+
+    def __init__(self, state_in, inputs, named, next_state):
+        self.state_in: Dict[str, List[int]] = state_in
+        self.inputs: Dict[str, List[int]] = inputs
+        self.named: Dict[str, List[int]] = named
+        self.next_state: Dict[str, List[int]] = next_state
+
+    def word(self, name: str) -> List[int]:
+        return self.named[name]
+
+    def bit(self, name: str) -> int:
+        word = self.named[name]
+        if len(word) != 1:
+            raise ValueError("signal %r is %d bits, expected 1" % (name, len(word)))
+        return word[0]
+
+
+def blast_frame(
+    builder: BitBuilder,
+    netlist: Netlist,
+    state_bits: Dict[str, List[int]],
+    input_bits: Dict[str, List[int]],
+) -> Frame:
+    """Instantiate combinational logic for one cycle.
+
+    ``state_bits`` maps register name -> literal vector (current value);
+    ``input_bits`` maps input name -> literal vector.  Returns the frame with
+    all named signals and the next-state vectors.
+    """
+    values: Dict[int, List[int]] = {}
+
+    for node in netlist.order:
+        op = node.op
+        if op == "const":
+            values[node.uid] = builder.const_word(node.value, node.width)
+        elif op == "input":
+            word = input_bits[node.name]
+            if len(word) != node.width:
+                raise ValueError("input %s width mismatch" % node.name)
+            values[node.uid] = word
+        elif op == "reg":
+            word = state_bits[node.name]
+            if len(word) != node.width:
+                raise ValueError("register %s width mismatch" % node.name)
+            values[node.uid] = word
+        elif op == "and":
+            a, b = node.args
+            values[node.uid] = builder.word_and(values[a.uid], values[b.uid])
+        elif op == "or":
+            a, b = node.args
+            values[node.uid] = builder.word_or(values[a.uid], values[b.uid])
+        elif op == "xor":
+            a, b = node.args
+            values[node.uid] = builder.word_xor(values[a.uid], values[b.uid])
+        elif op == "not":
+            values[node.uid] = builder.word_not(values[node.args[0].uid])
+        elif op == "add":
+            a, b = node.args
+            values[node.uid] = builder.word_add(values[a.uid], values[b.uid])
+        elif op == "sub":
+            a, b = node.args
+            values[node.uid] = builder.word_sub(values[a.uid], values[b.uid])
+        elif op == "mul":
+            a, b = node.args
+            values[node.uid] = builder.word_mul(values[a.uid], values[b.uid])
+        elif op == "eq":
+            a, b = node.args
+            values[node.uid] = [builder.word_eq(values[a.uid], values[b.uid])]
+        elif op == "ult":
+            a, b = node.args
+            values[node.uid] = [builder.word_ult(values[a.uid], values[b.uid])]
+        elif op == "shl":
+            word = values[node.args[0].uid]
+            amount = node.value
+            values[node.uid] = (
+                [builder.FALSE] * amount + word[: node.width - amount]
+                if amount < node.width
+                else [builder.FALSE] * node.width
+            )
+        elif op == "shr":
+            word = values[node.args[0].uid]
+            amount = node.value
+            values[node.uid] = (
+                word[amount:] + [builder.FALSE] * amount
+                if amount < node.width
+                else [builder.FALSE] * node.width
+            )
+        elif op == "mux":
+            sel, a, b = node.args
+            values[node.uid] = builder.word_ite(
+                values[sel.uid][0], values[a.uid], values[b.uid]
+            )
+        elif op == "concat":
+            word: List[int] = []
+            for arg in reversed(node.args):  # args are MSB-first
+                word.extend(values[arg.uid])
+            values[node.uid] = word
+        elif op == "slice":
+            word = values[node.args[0].uid]
+            values[node.uid] = word[node.value : node.value + node.width]
+        elif op == "redor":
+            values[node.uid] = [builder.or_many(values[node.args[0].uid])]
+        elif op == "redand":
+            values[node.uid] = [builder.and_many(values[node.args[0].uid])]
+        else:
+            raise NotImplementedError("bitblast: unknown op %r" % op)
+
+    named = {name: values[node.uid] for name, node in netlist.named.items()}
+    next_state = {
+        reg.name: values[next_node.uid] for reg, next_node in netlist.registers
+    }
+    return Frame(dict(state_bits), dict(input_bits), named, next_state)

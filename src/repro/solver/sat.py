@@ -1,0 +1,369 @@
+"""A CDCL SAT solver.
+
+This is the decision procedure underneath the bounded model checker -- the
+role JasperGold's engines play in the paper.  It is a conventional
+conflict-driven clause-learning solver:
+
+* two-watched-literal propagation,
+* first-UIP conflict analysis with clause minimization by self-subsumption
+  against the reason graph,
+* VSIDS-style exponential variable activities with phase saving,
+* Luby-sequence restarts,
+* learned-clause database reduction by activity,
+* a conflict budget so callers can obtain honest ``UNKNOWN`` outcomes
+  (the paper's "undetermined" model-checker verdict, SS V-B).
+
+Literals use DIMACS conventions: nonzero ints, ``-v`` is the negation of
+``v``.  Variables are allocated densely from 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["SatSolver", "SAT", "UNSAT", "UNKNOWN"]
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+def _luby(i):
+    """The i-th element (1-based) of the Luby restart sequence."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= i:
+        k += 1
+    while (1 << k) - 1 != i:
+        i -= (1 << (k - 1)) - 1
+        k = 1
+        while (1 << (k + 1)) - 1 <= i:
+            k += 1
+    return 1 << (k - 1)
+
+
+class SatSolver:
+    """CDCL solver with incremental clause addition and assumptions."""
+
+    def __init__(self):
+        self.num_vars = 0
+        # assignment: 0 unassigned, 1 true, -1 false, indexed by var
+        self._assign: List[int] = [0]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[List[int]]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[int] = [0]
+        self._watches: Dict[int, List[List[int]]] = {}
+        self._clauses: List[List[int]] = []
+        self._learned: List[List[int]] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+    # ------------------------------------------------------------------ setup
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(-1)
+        return self.num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT."""
+        if not self._ok:
+            return False
+        seen = set()
+        clause = []
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            value = self._value(lit)
+            if value == 1 and self._level[abs(lit)] == 0:
+                return True  # already satisfied at top level
+            if value == -1 and self._level[abs(lit)] == 0:
+                continue  # falsified at top level: drop literal
+            clause.append(lit)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        self._clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def _watch(self, clause):
+        self._watches.setdefault(clause[0], []).append(clause)
+        self._watches.setdefault(clause[1], []).append(clause)
+
+    # --------------------------------------------------------------- interface
+    def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None) -> str:
+        """Solve under ``assumptions``; returns SAT / UNSAT / UNKNOWN."""
+        if not self._ok:
+            return UNSAT
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return UNSAT
+        budget_start = self.conflicts
+        restart_index = 1
+        restart_limit = 64 * _luby(restart_index)
+        restart_base = self.conflicts
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return UNSAT
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                self._record_learned(learned)
+                self._decay_activities()
+                if max_conflicts is not None and self.conflicts - budget_start >= max_conflicts:
+                    self._backtrack(0)
+                    return UNKNOWN
+                if self.conflicts - restart_base >= restart_limit:
+                    restart_index += 1
+                    restart_limit = 64 * _luby(restart_index)
+                    restart_base = self.conflicts
+                    self._backtrack(0)
+                    if len(self._learned) > 4000 + 8 * self.num_vars:
+                        self._reduce_learned()
+                continue
+
+            # satisfy assumptions first, in order; heuristic decisions only
+            # start once every assumption holds, so a falsified assumption
+            # here is a consequence of level-0 facts and earlier assumptions
+            # alone -> UNSAT under the assumption set
+            next_assumption = None
+            for lit in assumptions:
+                value = self._value(lit)
+                if value == -1:
+                    return UNSAT
+                if value == 0:
+                    next_assumption = lit
+                    break
+            if next_assumption is not None:
+                self.decisions += 1
+                self._decide(next_assumption)
+                continue
+
+            lit = self._pick_branch()
+            if lit is None:
+                return SAT
+            self.decisions += 1
+            self._decide(lit)
+
+    def model_value(self, var: int) -> bool:
+        return self._assign[var] == 1
+
+    # ------------------------------------------------------------- internals
+    def _value(self, lit: int) -> int:
+        value = self._assign[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _decide(self, lit: int):
+        self._trail_lim.append(len(self._trail))
+        self._enqueue(lit, None)
+
+    def _enqueue(self, lit: int, reason) -> bool:
+        if self._value(lit) == -1:
+            return False
+        if self._value(lit) == 1:
+            return True
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self):
+        """Unit propagation; returns the conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            false_lit = -lit
+            watchers = self._watches.get(false_lit)
+            if not watchers:
+                continue
+            new_watchers = []
+            conflict = None
+            for ci in range(len(watchers)):
+                clause = watchers[ci]
+                if conflict is not None:
+                    new_watchers.append(clause)
+                    continue
+                # ensure false_lit is at slot 1
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    new_watchers.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches.setdefault(clause[1], []).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_watchers.append(clause)
+                if not self._enqueue(first, clause):
+                    conflict = clause
+            self._watches[false_lit] = new_watchers
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _analyze(self, conflict):
+        """First-UIP learning; returns (learned_clause, backtrack_level)."""
+        learned = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        clause = conflict
+        index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            for q in clause:
+                if lit is not None and q == lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learned[0] = -lit
+                break
+            clause = self._reason[var]
+            index -= 1
+
+        # clause minimization: drop literals implied by the rest
+        def redundant(q):
+            reason = self._reason[abs(q)]
+            if reason is None:
+                return False
+            for r in reason:
+                if abs(r) == abs(q):
+                    continue
+                if not seen_set(abs(r)) and self._level[abs(r)] > 0:
+                    return False
+            return True
+
+        marked = set(abs(q) for q in learned[1:])
+
+        def seen_set(var):
+            return var in marked
+
+        kept = [learned[0]]
+        for q in learned[1:]:
+            if not redundant(q):
+                kept.append(q)
+        learned = kept
+
+        if len(learned) == 1:
+            return learned, 0
+        # find backtrack level: max level among learned[1:]
+        back_level = 0
+        swap_index = 1
+        for i in range(1, len(learned)):
+            lvl = self._level[abs(learned[i])]
+            if lvl > back_level:
+                back_level = lvl
+                swap_index = i
+        learned[1], learned[swap_index] = learned[swap_index], learned[1]
+        return learned, back_level
+
+    def _record_learned(self, learned):
+        if len(learned) == 1:
+            self._enqueue(learned[0], None)
+            return
+        self._learned.append(learned)
+        self._watch(learned)
+        self._enqueue(learned[0], learned)
+
+    def _backtrack(self, level):
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for i in range(len(self._trail) - 1, limit - 1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            self._phase[var] = 1 if lit > 0 else -1
+            self._assign[var] = 0
+            self._reason[var] = None
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _pick_branch(self):
+        best_var = None
+        best_act = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self._assign[var] == 0 and self._activity[var] > best_act:
+                best_act = self._activity[var]
+                best_var = var
+        if best_var is None:
+            return None
+        sign = self._phase[best_var]
+        return best_var if sign > 0 else -best_var
+
+    def _bump(self, var):
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for i in range(1, self.num_vars + 1):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay_activities(self):
+        self._var_inc /= self._var_decay
+
+    def _reduce_learned(self):
+        """Drop the less useful half of learned clauses (longest first)."""
+        self._learned.sort(key=len)
+        keep = self._learned[: len(self._learned) // 2]
+        dropped = set(id(c) for c in self._learned[len(self._learned) // 2 :])
+        # clauses may be reason for current (level-0) assignments; protect them
+        protected = set(id(r) for r in self._reason if r is not None)
+        dropped -= protected
+        for lit in list(self._watches):
+            self._watches[lit] = [c for c in self._watches[lit] if id(c) not in dropped]
+        self._learned = [c for c in self._learned if id(c) not in dropped]

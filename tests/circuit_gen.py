@@ -1,0 +1,84 @@
+"""Random-expression generator shared by equivalence tests.
+
+Builds a random combinational expression over two inputs alongside a
+reference Python evaluator, so the simulator and the bit-blaster can be
+checked against ground truth on the same structure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.rtl import Module, cat, mux, redand, redor, zext
+
+WIDTH = 6
+MASK = (1 << WIDTH) - 1
+
+
+def build_random_expr(seed, depth=4):
+    """Returns (module, node, ref) with ref(a, b) -> int."""
+    rng = random.Random(seed)
+    m = Module("rand%d" % seed)
+    a = m.input("a", WIDTH)
+    b = m.input("b", WIDTH)
+
+    def gen(d):
+        if d == 0:
+            choice = rng.randrange(3)
+            if choice == 0:
+                return a, lambda av, bv: av
+            if choice == 1:
+                return b, lambda av, bv: bv
+            k = rng.randrange(1 << WIDTH)
+            return m.const(k, WIDTH), lambda av, bv: k
+        op = rng.choice(
+            ["and", "or", "xor", "add", "sub", "mul", "not", "shl", "shr",
+             "muxw", "eqw", "ultw", "slice"]
+        )
+        x, fx = gen(d - 1)
+        if op == "not":
+            return ~x, lambda av, bv: ~fx(av, bv) & MASK
+        if op in ("shl", "shr"):
+            amount = rng.randrange(WIDTH)
+            if op == "shl":
+                return x << amount, lambda av, bv: (fx(av, bv) << amount) & MASK
+            return x >> amount, lambda av, bv: fx(av, bv) >> amount
+        if op == "slice":
+            lo = rng.randrange(WIDTH - 1)
+            node = zext(x[lo:WIDTH], WIDTH)
+            return node, lambda av, bv: fx(av, bv) >> lo
+        y, fy = gen(d - 1)
+        if op == "and":
+            return x & y, lambda av, bv: fx(av, bv) & fy(av, bv)
+        if op == "or":
+            return x | y, lambda av, bv: fx(av, bv) | fy(av, bv)
+        if op == "xor":
+            return x ^ y, lambda av, bv: fx(av, bv) ^ fy(av, bv)
+        if op == "add":
+            return x + y, lambda av, bv: (fx(av, bv) + fy(av, bv)) & MASK
+        if op == "sub":
+            return x - y, lambda av, bv: (fx(av, bv) - fy(av, bv)) & MASK
+        if op == "mul":
+            return x * y, lambda av, bv: (fx(av, bv) * fy(av, bv)) & MASK
+        if op == "eqw":
+            node = zext(x.eq(y), WIDTH)
+            return node, lambda av, bv: int(fx(av, bv) == fy(av, bv))
+        if op == "ultw":
+            node = zext(x.ult(y), WIDTH)
+            return node, lambda av, bv: int(fx(av, bv) < fy(av, bv))
+        if op == "muxw":
+            node = mux(x[0], y, x)
+            return node, lambda av, bv: (
+                fy(av, bv) if fx(av, bv) & 1 else fx(av, bv)
+            )
+        raise AssertionError(op)
+
+    node, ref = gen(depth)
+    sel = a[0]
+    alt, falt = gen(depth - 1)
+    node = mux(sel, node, alt)
+    final_ref = lambda av, bv: (ref(av, bv) if av & 1 else falt(av, bv))
+    m.name_signal("out", node)
+    m.name_signal("red_or", redor(node))
+    m.name_signal("red_and", redand(node))
+    return m, node, final_ref

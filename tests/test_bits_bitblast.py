@@ -1,0 +1,165 @@
+"""Gate-builder and bit-blaster tests: truth tables and sim equivalence."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtl import Module, elaborate
+from repro.sim import Simulator
+from repro.solver import SAT, BitBuilder, SatSolver, blast_frame
+
+from circuit_gen import MASK, WIDTH, build_random_expr
+
+
+def fresh():
+    solver = SatSolver()
+    return solver, BitBuilder(solver)
+
+
+def force(solver, lit, value):
+    return lit if value else -lit
+
+
+class TestGates:
+    @pytest.mark.parametrize("av,bv", list(itertools.product([0, 1], repeat=2)))
+    def test_and_truth_table(self, av, bv):
+        solver, bb = fresh()
+        a, b = bb.new_bit(), bb.new_bit()
+        out = bb.and_(a, b)
+        assert solver.solve(assumptions=[force(solver, a, av), force(solver, b, bv)]) == SAT
+        got = solver.model_value(abs(out)) == (out > 0)
+        assert got == bool(av and bv)
+
+    @pytest.mark.parametrize("av,bv", list(itertools.product([0, 1], repeat=2)))
+    def test_xor_truth_table(self, av, bv):
+        solver, bb = fresh()
+        a, b = bb.new_bit(), bb.new_bit()
+        out = bb.xor_(a, b)
+        assert solver.solve(assumptions=[force(solver, a, av), force(solver, b, bv)]) == SAT
+        got = solver.model_value(abs(out)) == (out > 0)
+        assert got == bool(av ^ bv)
+
+    @pytest.mark.parametrize("sv,av,bv", list(itertools.product([0, 1], repeat=3)))
+    def test_ite_truth_table(self, sv, av, bv):
+        solver, bb = fresh()
+        s, a, b = bb.new_bit(), bb.new_bit(), bb.new_bit()
+        out = bb.ite(s, a, b)
+        assumptions = [force(solver, s, sv), force(solver, a, av), force(solver, b, bv)]
+        assert solver.solve(assumptions=assumptions) == SAT
+        got = solver.model_value(abs(out)) == (out > 0)
+        assert got == bool(av if sv else bv)
+
+    def test_constant_folds(self):
+        _, bb = fresh()
+        x = bb.new_bit()
+        assert bb.and_(x, bb.TRUE) == x
+        assert bb.and_(x, bb.FALSE) == bb.FALSE
+        assert bb.or_(x, bb.FALSE) == x
+        assert bb.or_(x, bb.TRUE) == bb.TRUE
+        assert bb.xor_(x, bb.FALSE) == x
+        assert bb.xor_(x, bb.TRUE) == -x
+        assert bb.and_(x, -x) == bb.FALSE
+        assert bb.xor_(x, x) == bb.FALSE
+
+    def test_structural_sharing(self):
+        _, bb = fresh()
+        a, b = bb.new_bit(), bb.new_bit()
+        assert bb.and_(a, b) == bb.and_(b, a)
+        assert bb.xor_(a, b) == bb.xor_(b, a)
+        # xor polarity folds into the output literal
+        assert bb.xor_(-a, b) == -bb.xor_(a, b)
+
+    def test_ite_complement_arms(self):
+        solver, bb = fresh()
+        s, a = bb.new_bit(), bb.new_bit()
+        out = bb.ite(s, a, -a)
+        for sv, av in itertools.product([0, 1], repeat=2):
+            assert solver.solve(
+                assumptions=[force(solver, s, sv), force(solver, a, av)]
+            ) == SAT
+            got = solver.model_value(abs(out)) == (out > 0)
+            assert got == bool(av if sv else 1 - av)
+
+
+class TestWordOps:
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_arith_matches_python(self, a, b):
+        solver, bb = fresh()
+        wa = bb.const_word(a, 8)
+        wb = bb.const_word(b, 8)
+        assert solver.solve() == SAT
+        assert bb.word_value(bb.word_add(wa, wb)) == (a + b) & 0xFF
+        assert bb.word_value(bb.word_sub(wa, wb)) == (a - b) & 0xFF
+        assert bb.word_value(bb.word_mul(wa, wb)) == (a * b) & 0xFF
+        assert (bb.word_eq(wa, wb) == bb.TRUE) == (a == b)
+        assert (bb.word_ult(wa, wb) == bb.TRUE) == (a < b)
+
+    def test_symbolic_eq_forces_equality(self):
+        solver, bb = fresh()
+        wa = bb.fresh_word(4)
+        wb = bb.const_word(9, 4)
+        eq = bb.word_eq(wa, wb)
+        assert solver.solve(assumptions=[eq]) == SAT
+        assert bb.word_value(wa) == 9
+
+    def test_symbolic_ult_unsat_against_zero(self):
+        solver, bb = fresh()
+        wa = bb.fresh_word(4)
+        lt = bb.word_ult(wa, bb.const_word(0, 4))
+        assert solver.solve(assumptions=[lt]) == "unsat"
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), a=st.integers(0, MASK), b=st.integers(0, MASK))
+def test_blast_frame_matches_simulator(seed, a, b):
+    m, _node, _ref = build_random_expr(seed)
+    netlist = elaborate(m)
+    sim = Simulator(netlist)
+    obs = sim.step({"a": a, "b": b})
+
+    solver, bb = fresh()
+    frame = blast_frame(
+        bb,
+        netlist,
+        {},
+        {"a": bb.const_word(a, WIDTH), "b": bb.const_word(b, WIDTH)},
+    )
+    assert solver.solve() == SAT
+    assert bb.word_value(frame.named["out"]) == obs["out"]
+    assert bb.word_value(frame.named["red_or"]) == obs["red_or"]
+    assert bb.word_value(frame.named["red_and"]) == obs["red_and"]
+
+
+def test_blast_frame_register_chaining():
+    m = Module("acc")
+    x = m.input("x", 4)
+    r = m.reg("r", 4, reset=0)
+    r.next = r.q + x
+    m.name_signal("total", r.q)
+    netlist = elaborate(m)
+
+    solver, bb = fresh()
+    state = {"r": bb.const_word(0, 4)}
+    inputs = [3, 5, 9]
+    for value in inputs:
+        frame = blast_frame(bb, netlist, state, {"x": bb.const_word(value, 4)})
+        state = frame.next_state
+    assert solver.solve() == SAT
+    assert bb.word_value(state["r"]) == sum(inputs) & 0xF
+
+
+def test_frame_bit_accessor():
+    m = Module("t")
+    a = m.input("a", 1)
+    m.name_signal("a_sig", a)
+    m.name_signal("wide", m.input("b", 3))
+    netlist = elaborate(m)
+    solver, bb = fresh()
+    frame = blast_frame(
+        bb, netlist, {}, {"a": [bb.TRUE], "b": bb.const_word(5, 3)}
+    )
+    assert frame.bit("a_sig") == bb.TRUE
+    with pytest.raises(ValueError):
+        frame.bit("wide")

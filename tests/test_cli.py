@@ -1,0 +1,47 @@
+"""CLI tests (parser structure and the fast commands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["upath", "ADD"],
+            ["decisions", "LW"],
+            ["uspec", "ADD", "LW"],
+            ["table2"],
+            ["sc-safe", "DIV", "arf_w1"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_invalid_instruction_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["upath", "NOPE"])
+
+    def test_command_required(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+
+class TestFastCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "core" in out and "cache" in out and "uFSMs" in out
+
+    def test_sc_safe_violation_exit_code(self, capsys):
+        # DIV with a secret dividend: must report a violation (exit 1)
+        assert main(["sc-safe", "DIV", "arf_w1"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+
+    def test_sc_safe_clean_exit_code(self, capsys):
+        assert main(["sc-safe", "XOR", "arf_w1"]) == 0
+        out = capsys.readouterr().out
+        assert "holds" in out

@@ -1,0 +1,211 @@
+"""Contract-derivation tests over synthetic SynthLC fixtures (no simulation)."""
+
+import pytest
+
+from repro.core.contracts import (
+    TABLE1_COMPONENTS,
+    CtContract,
+    DolmaContract,
+    Mi6Contract,
+    OisaContract,
+    SdoContract,
+    SptContract,
+    SttContract,
+    derive_all_contracts,
+)
+from repro.core.decisions import DecisionSet
+from repro.core.rtl2mupath import MuPathResult, UPathSummary
+from repro.core.synthlc import LeakageSignature, SynthLCResult, TransmitterTag
+from repro.mc.stats import PropertyStats
+
+
+def tag(t, ttype, op="rs1", fp=False):
+    return TransmitterTag(transmitter=t, ttype=ttype, operand=op, false_positive=fp)
+
+
+def sigfix(p, src, dsts, tags):
+    return LeakageSignature(
+        transponder=p,
+        src=src,
+        destinations=tuple(frozenset(d) for d in dsts),
+        inputs=tuple(tags),
+    )
+
+
+@pytest.fixture
+def fixture_result():
+    """A hand-built SynthLC result shaped like the paper's findings."""
+    signatures = [
+        # DIV: explicit channel at its own unit (intrinsic transmitter)
+        sigfix("DIV", "divU", [["divU"], ["scbFin"]], [tag("DIV", "intrinsic"),
+                                                       tag("DIV", "intrinsic", "rs2")]),
+        # LW: implicit channel from an older dynamic store (store-to-load)
+        sigfix("LW", "issue", [["ldFin"], ["LSQ", "ldStall"]],
+               [tag("SW", "dynamic_older")]),
+        # SW: the novel channel from a younger dynamic load
+        sigfix("SW", "comSTB", [["comSTB"], ["memRq"]],
+               [tag("LW", "dynamic_younger")]),
+        # ST on the cache: static LD transmitter (tag state)
+        sigfix("ST", "wBVld", [["wRTag"], ["wRTag", "wrBank0"]],
+               [tag("LD", "static"), tag("ST", "intrinsic")]),
+        # ADD stalled behind DIV at the scoreboard: secondary-style stall
+        sigfix("ADD", "scbFin", [["scbFin"], ["scbCmt"]],
+               [tag("DIV", "dynamic_older")]),
+        # a false-positive-only input (should not create transmitters)
+        sigfix("BEQ", "scbIss", [["aluU"], ["scbFin"]],
+               [tag("MUL", "dynamic_older", fp=True),
+                tag("BEQ", "dynamic_older")]),
+    ]
+    return SynthLCResult(
+        signatures=signatures,
+        transponders=["ADD", "BEQ", "DIV", "LW", "SW", "ST"],
+        candidate_transponders=["ADD", "BEQ", "DIV", "LW", "SW", "ST"],
+        transmitters={
+            "intrinsic": {"DIV", "ST"},
+            "dynamic_older": {"SW", "DIV", "BEQ"},
+            "dynamic_younger": {"LW"},
+            "static": {"LD"},
+        },
+        tags_by_decision={},
+        stats=PropertyStats(),
+    )
+
+
+@pytest.fixture
+def fixture_mupaths():
+    def res(name, run_lengths, pl_sets):
+        upaths = [
+            UPathSummary(
+                pl_set=frozenset(s),
+                revisit={},
+                hb_edges=frozenset(),
+                run_lengths={k: frozenset(v) for k, v in run_lengths.items()},
+            )
+            for s in pl_sets
+        ]
+        return MuPathResult(
+            iuv=name,
+            iuv_pls=frozenset().union(*map(frozenset, pl_sets)) if pl_sets else frozenset(),
+            dominates=frozenset(),
+            exclusive=frozenset(),
+            candidate_sets_considered=0,
+            naive_power_set_size=0,
+            upaths=upaths,
+            concrete_paths=[],
+            decisions=DecisionSet(iuv=name, by_source={}),
+            run_lengths={k: frozenset(v) for k, v in run_lengths.items()},
+            truncated=False,
+        )
+
+    return {
+        "DIV": res("DIV", {"divU": range(1, 11)}, [["IF", "divU", "scbCmt"]]),
+        "LW": res("LW", {}, [["IF", "ldFin"]]),
+        "SW": res("SW", {}, [["IF", "comSTB", "memRq"]]),
+        "ST": res("ST", {}, [["wBVld", "wRTag"]]),
+        "ADD": res("ADD", {}, [["IF", "scbFin", "scbCmt"]]),
+        "BEQ": res("BEQ", {}, [["IF", "aluU"]]),
+    }
+
+
+class TestCt:
+    def test_unsafe_operands(self, fixture_result):
+        ct = CtContract.derive(fixture_result)
+        assert ct.is_unsafe("DIV", "rs1") and ct.is_unsafe("DIV", "rs2")
+        assert ct.is_unsafe("SW", "rs1")
+        assert ct.is_unsafe("LW", "rs1")
+        assert not ct.is_unsafe("ADD", "rs1")
+
+    def test_false_positive_inputs_excluded(self, fixture_result):
+        ct = CtContract.derive(fixture_result)
+        assert not ct.is_unsafe("MUL", "rs1")
+
+    def test_render(self, fixture_result):
+        text = CtContract.derive(fixture_result).render()
+        assert "DIV.rs1" in text
+
+
+class TestMi6:
+    def test_channel_split(self, fixture_result):
+        mi6 = Mi6Contract.derive(fixture_result)
+        dynamic_names = {s.name for s in mi6.dynamic_channels}
+        static_names = {s.name for s in mi6.static_channels}
+        assert "LW_issue" in dynamic_names
+        assert "ST_wBVld" in static_names
+        assert "LW_issue" not in static_names
+
+    def test_purge_targets_cover_static_pls(self, fixture_result):
+        mi6 = Mi6Contract.derive(fixture_result)
+        targets = mi6.purge_targets()
+        assert "wBVld" in targets and "wRTag" in targets
+
+
+class TestOisa:
+    def test_div_unit_flagged(self, fixture_result, fixture_mupaths):
+        oisa = OisaContract.derive(fixture_result, fixture_mupaths)
+        units = {(i, pl) for i, _, pl in oisa.input_dependent_units}
+        assert ("DIV", "divU") in units
+
+    def test_loads_not_arithmetic_units(self, fixture_result, fixture_mupaths):
+        oisa = OisaContract.derive(fixture_result, fixture_mupaths)
+        assert all(i != "LW" for i, _, _ in oisa.input_dependent_units)
+
+
+class TestStt:
+    def test_five_components(self, fixture_result):
+        stt = SttContract.derive(fixture_result)
+        assert ("DIV", "divU") in stt.explicit_channels
+        assert ("LW", "issue") in stt.implicit_channels
+        assert "LW" in stt.implicit_branches
+        assert ("ST", "wBVld") in stt.prediction_channels  # static-driven
+        assert ("SW", "comSTB") in stt.resolution_channels  # dynamic-driven
+
+    def test_explicit_requires_intrinsic(self, fixture_result):
+        stt = SttContract.derive(fixture_result)
+        assert ("LW", "issue") not in stt.explicit_channels
+
+
+class TestSdo:
+    def test_variant_pins_worst_case(self, fixture_result, fixture_mupaths):
+        sdo = SdoContract.derive(fixture_result, fixture_mupaths)
+        assert "DIV" in sdo.variants
+        _pl_set, forced = sdo.variants["DIV"]
+        assert forced["divU"] == 10  # worst-case residency
+
+    def test_variants_only_for_explicit_channels(self, fixture_result, fixture_mupaths):
+        sdo = SdoContract.derive(fixture_result, fixture_mupaths)
+        assert "LW" not in sdo.variants
+
+
+class TestDolma:
+    def test_components(self, fixture_result, fixture_mupaths):
+        dolma = DolmaContract.derive(fixture_result, fixture_mupaths)
+        assert "DIV" in dolma.variable_time_uops
+        assert "LW" in dolma.inducive_uops
+        assert "SW" in dolma.resolvent_uops
+        assert ("LW", "issue") in dolma.resolution_points
+        assert "LD" in dolma.persistent_state_uops
+
+    def test_false_positive_not_resolvent(self, fixture_result, fixture_mupaths):
+        dolma = DolmaContract.derive(fixture_result, fixture_mupaths)
+        assert "MUL" not in dolma.resolvent_uops
+
+
+class TestSptAndAll:
+    def test_spt_combines(self, fixture_result):
+        spt = SptContract.derive(fixture_result)
+        assert spt.ct.unsafe_operands and spt.stt.explicit_channels
+
+    def test_derive_all_and_summary(self, fixture_result, fixture_mupaths):
+        contracts = derive_all_contracts(fixture_result, fixture_mupaths)
+        text = contracts.summary()
+        for key in ("CT:", "MI6:", "OISA:", "STT:", "SDO:", "Dolma:", "SPT:"):
+            assert key in text
+
+    def test_table1_component_map_complete(self):
+        # every contract family appears in the Table I mapping
+        prefixes = {key.split(".")[0] for key in TABLE1_COMPONENTS}
+        assert prefixes == {"ct", "mi6", "oisa", "stt", "sdo", "dolma"}
+        # each entry names only valid signature components
+        valid = {"u", "P", "src", "TN", "TD", "TS", "a"}
+        for components in TABLE1_COMPONENTS.values():
+            assert set(components) <= valid

@@ -1,0 +1,144 @@
+"""Context-provider and program-driver tests."""
+
+import pytest
+
+from repro.designs import (
+    ContextFamilyConfig,
+    CoreContextProvider,
+    build_core,
+    isa,
+    program_driver_factory,
+    slot_pc,
+)
+from repro.designs.harness import TaintSpec, default_value_set, small_value_set
+from repro.sim import Simulator
+
+
+class TestDriver:
+    def test_replays_until_accepted(self):
+        word = isa.encode("ADD", rd=3, rs1=1, rs2=2)
+        driver = program_driver_factory([("feed", (word, word))])()
+        # cycle 0: drives word; pretend not accepted
+        inputs = driver(0, None)
+        assert inputs["in_valid"] == 1
+        inputs = driver(1, {"fetch_ready": 0})
+        assert inputs["in_instr"] == word  # same slot replayed
+        inputs = driver(2, {"fetch_ready": 1})
+        assert inputs["in_valid"] == 1  # second slot now
+
+    def test_idle_phase(self):
+        word = isa.encode("ADD")
+        driver = program_driver_factory([("idle", 2), ("feed", (word,))])()
+        assert "in_valid" not in driver(0, None)
+        assert "in_valid" not in driver(1, {"fetch_ready": 1})
+        assert driver(2, {"fetch_ready": 1})["in_valid"] == 1
+
+    def test_quiesce_requires_waited_cycle(self):
+        word = isa.encode("ADD")
+        driver = program_driver_factory([("wait_quiesce",), ("feed", (word,))])()
+        # first call: stale quiescent observation must NOT advance the phase
+        inputs = driver(0, None)
+        assert "in_valid" not in inputs
+        inputs = driver(1, {"fetch_ready": 1, "pipe_quiesce": 1})
+        assert inputs["in_valid"] == 1
+
+    def test_flush_pulse(self):
+        driver = program_driver_factory([("flush",), ("idle", 1)], instrumented=True)()
+        assert driver(0, None)["taint_flush"] == 1
+        assert driver(1, None)["taint_flush"] == 0
+
+    def test_taint_inputs(self):
+        spec = TaintSpec(pc=12, rs1=True)
+        driver = program_driver_factory([("idle", 1)], taint=spec, instrumented=True)()
+        inputs = driver(0, None)
+        assert inputs["taint_pc"] == 12
+        assert inputs["taint_rs1"] == 1 and inputs["taint_rs2"] == 0
+        assert inputs["taint_intro"] == 1
+
+    def test_uninstrumented_omits_controls(self):
+        driver = program_driver_factory([("idle", 1)])()
+        inputs = driver(0, None)
+        assert "taint_intro" not in inputs
+
+    def test_unknown_item_rejected(self):
+        driver = program_driver_factory([("bogus",)])()
+        with pytest.raises(ValueError):
+            driver(0, None)
+
+
+class TestValueSets:
+    def test_default_covers_every_msb_position(self):
+        values = default_value_set(8)
+        assert 0 in values and 255 in values
+        for i in range(8):
+            assert any(v.bit_length() == i + 1 for v in values)
+
+    def test_small_set_has_offset_variety(self):
+        values = small_value_set(8)
+        offsets = {v & 3 for v in values}
+        assert len(offsets) >= 3
+
+
+class TestFamilies:
+    @pytest.fixture(scope="class")
+    def provider(self):
+        return CoreContextProvider(
+            xlen=8,
+            config=ContextFamilyConfig(
+                horizon=40, neighbors=("DIV", "SW"),
+                iuv_values=(0, 1, 255), neighbor_values=(0, 1),
+            ),
+        )
+
+    def test_group_labels(self, provider):
+        groups = provider.mupath_groups("ADD")
+        labels = {g.label for g in groups}
+        assert labels == {"solo", "preceded", "followed", "deep2", "scbfull"}
+
+    def test_iuv_placement(self, provider):
+        groups = {g.label: g for g in provider.mupath_groups("ADD")}
+        assert groups["solo"].iuv_pc == slot_pc(0)
+        assert groups["preceded"].iuv_pc == slot_pc(1)
+        assert groups["scbfull"].iuv_pc == slot_pc(3)
+
+    def test_all_groups_complete_without_cap(self, provider):
+        assert all(g.complete for g in provider.mupath_groups("LW"))
+
+    def test_cap_marks_incomplete(self):
+        provider = CoreContextProvider(
+            xlen=8,
+            config=ContextFamilyConfig(
+                horizon=40, neighbors=("DIV",), max_contexts=2,
+                iuv_values=(0, 1, 2), neighbor_values=(0, 1),
+            ),
+        )
+        groups = provider.mupath_groups("ADD")
+        assert any(not g.complete for g in groups)
+        assert all(len(g.contexts) <= 2 for g in groups)
+
+    def test_taint_groups_intrinsic_requires_same_instruction(self, provider):
+        assert provider.taint_groups("ADD", "DIV", "intrinsic", "rs1") == []
+        groups = provider.taint_groups("DIV", "DIV", "intrinsic", "rs1")
+        assert groups and groups[0].taint_pc == groups[0].iuv_pc
+
+    def test_taint_groups_dynamic_placements(self, provider):
+        older = provider.taint_groups("ADD", "DIV", "dynamic_older", "rs1")
+        assert all(g.taint_pc < g.iuv_pc for g in older)
+        younger = provider.taint_groups("SW", "LW", "dynamic_younger", "rs1")
+        assert all(g.taint_pc > g.iuv_pc for g in younger)
+
+    def test_taint_labels_machine_parsable(self, provider):
+        groups = provider.taint_groups("ADD", "DIV", "dynamic_older", "rs2")
+        label = groups[0].contexts[0].label
+        parts = label.split("|")
+        assert len(parts) == 3
+        v1, v2 = parts[1].split(",")
+        int(v1), int(v2)
+
+    def test_static_script_includes_flush(self, provider):
+        groups = provider.taint_groups("ADD", "DIV", "static", "rs1")
+        assert groups and groups[0].label.startswith("static")
+
+    def test_bad_assumption_rejected(self, provider):
+        with pytest.raises(ValueError):
+            provider.taint_groups("ADD", "DIV", "sideways", "rs1")

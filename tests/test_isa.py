@@ -1,0 +1,96 @@
+"""ISA inventory tests: the paper's exact RV64IM instruction structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.designs import isa
+
+
+class TestInventory:
+    def test_72_instructions(self):
+        assert len(isa.INSTRUCTIONS) == 72
+
+    def test_unique_names_and_opcodes(self):
+        names = [s.name for s in isa.INSTRUCTIONS]
+        opcodes = [s.opcode for s in isa.INSTRUCTIONS]
+        assert len(set(names)) == 72
+        assert opcodes == list(range(72))
+
+    def test_division_remainder_variants(self):
+        # SS VII-A1: "eight division (DIV) and remainder (REM) variants"
+        assert len(isa.CLASSES["div"]) == 8
+        assert set(isa.CLASSES["div"]) == {
+            "DIV", "DIVU", "REM", "REMU", "DIVW", "DIVUW", "REMW", "REMUW",
+        }
+
+    def test_load_variants(self):
+        # "seven load (LD) variants"
+        assert len(isa.CLASSES["load"]) == 7
+
+    def test_store_variants(self):
+        # "four store (ST) variants"
+        assert len(isa.CLASSES["store"]) == 4
+
+    def test_branch_variants(self):
+        # "six branch variants" (plus JALR) make up the extra dynamics
+        assert len(isa.CLASSES["branch"]) == 6
+        assert len(isa.CLASSES["jalr"]) == 1
+
+    def test_intrinsic_transmitter_class_count(self):
+        # 8 div/rem + 7 loads + 4 stores = 19 intrinsic transmitters (Fig. 8)
+        count = (
+            len(isa.CLASSES["div"]) + len(isa.CLASSES["load"]) + len(isa.CLASSES["store"])
+        )
+        assert count == 19
+
+    def test_dynamic_transmitter_class_count(self):
+        # 19 intrinsic + 6 branches + JALR = 26 dynamic transmitters (Fig. 8)
+        assert 19 + len(isa.CLASSES["branch"]) + 1 == 26
+
+    def test_signed_flags(self):
+        assert isa.BY_NAME["DIV"].signed and not isa.BY_NAME["DIVU"].signed
+        assert isa.BY_NAME["BLT"].signed and not isa.BY_NAME["BLTU"].signed
+
+    def test_operand_read_flags(self):
+        assert not isa.BY_NAME["LUI"].reads_rs1
+        assert not isa.BY_NAME["ADDI"].reads_rs2
+        assert isa.BY_NAME["SW"].reads_rs1 and isa.BY_NAME["SW"].reads_rs2
+        assert not isa.BY_NAME["SW"].writes_rd
+        assert not isa.BY_NAME["BEQ"].writes_rd
+        assert isa.BY_NAME["JALR"].writes_rd
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        word = isa.encode("MUL", rd=3, rs1=5, rs2=7)
+        instr = isa.decode(word)
+        assert instr.spec.name == "MUL"
+        assert (instr.rd, instr.rs1, instr.rs2) == (3, 5, 7)
+
+    def test_imm_alias(self):
+        instr = isa.decode(isa.encode("ADDI", rd=1, rs1=2, rs2=6))
+        assert instr.imm == 6
+
+    def test_field_range_checked(self):
+        with pytest.raises(ValueError):
+            isa.encode("ADD", rd=8)
+        with pytest.raises(ValueError):
+            isa.encode("ADD", rs1=-1)
+
+    def test_invalid_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            isa.decode(127 << 9)
+
+    def test_encoding_fits_16_bits(self):
+        word = isa.encode("REMUW", rd=7, rs1=7, rs2=7)
+        assert word < (1 << isa.ENCODING_BITS)
+
+    @given(
+        name=st.sampled_from([s.name for s in isa.INSTRUCTIONS]),
+        rd=st.integers(0, 7),
+        rs1=st.integers(0, 7),
+        rs2=st.integers(0, 7),
+    )
+    def test_roundtrip_all(self, name, rd, rs1, rs2):
+        instr = isa.decode(isa.encode(name, rd=rd, rs1=rs1, rs2=rs2))
+        assert (instr.spec.name, instr.rd, instr.rs1, instr.rs2) == (name, rd, rs1, rs2)

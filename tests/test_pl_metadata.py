@@ -1,0 +1,100 @@
+"""PerformingLocation / DesignMetadata expression tests."""
+
+import pytest
+
+from repro.core.pl import DesignMetadata, MicroFsm, PerformingLocation, PlSlot
+from repro.props import ConcreteOps, ConcreteTraceView
+
+
+def view(*cycles):
+    return ConcreteTraceView(list(cycles))
+
+
+@pytest.fixture
+def pl_two_slots():
+    return PerformingLocation(
+        "scbIss",
+        (PlSlot("occ0", "pc0"), PlSlot("occ1", "pc1")),
+        ufsms=("u0", "u1"),
+    )
+
+
+class TestPerformingLocation:
+    def test_occupied_any_slot(self, pl_two_slots):
+        v = view({"occ0": 0, "pc0": 0, "occ1": 1, "pc1": 8})
+        assert pl_two_slots.occupied().evaluate(v, 0, ConcreteOps)
+
+    def test_not_occupied(self, pl_two_slots):
+        v = view({"occ0": 0, "pc0": 4, "occ1": 0, "pc1": 8})
+        assert not pl_two_slots.occupied().evaluate(v, 0, ConcreteOps)
+
+    def test_visited_by_requires_pc_match(self, pl_two_slots):
+        v = view({"occ0": 1, "pc0": 4, "occ1": 1, "pc1": 8})
+        assert pl_two_slots.visited_by(4).evaluate(v, 0, ConcreteOps)
+        assert pl_two_slots.visited_by(8).evaluate(v, 0, ConcreteOps)
+        assert not pl_two_slots.visited_by(12).evaluate(v, 0, ConcreteOps)
+
+    def test_occupied_without_matching_pc(self, pl_two_slots):
+        v = view({"occ0": 1, "pc0": 4, "occ1": 0, "pc1": 8})
+        assert not pl_two_slots.visited_by(8).evaluate(v, 0, ConcreteOps)
+
+    def test_tainted_visit_uses_probe(self):
+        pl = PerformingLocation(
+            "divU", (PlSlot("occ", "pc", probe_signal="probe"),)
+        )
+        v = view({"occ": 1, "pc": 4, "probe__tainted": 1, "occ__tainted": 0})
+        assert pl.tainted_visit_by(4).evaluate(v, 0, ConcreteOps)
+        v = view({"occ": 1, "pc": 4, "probe__tainted": 0, "occ__tainted": 1})
+        assert not pl.tainted_visit_by(4).evaluate(v, 0, ConcreteOps)
+
+    def test_taint_probe_defaults_to_occ(self):
+        slot = PlSlot("occ", "pc")
+        assert slot.taint_probe == "occ"
+
+
+class TestDesignMetadata:
+    @pytest.fixture
+    def metadata(self, pl_two_slots):
+        other = PerformingLocation("IF", (PlSlot("if_occ", "if_pc"),), ("uif",))
+        return DesignMetadata(
+            design_name="toy",
+            pls={"scbIss": pl_two_slots, "IF": other},
+            ufsms=(
+                MicroFsm("u0", "pc0", ("occ0",)),
+                MicroFsm("u1", "pc1", ("occ1",)),
+                MicroFsm("uif", "if_pc", ("if_occ",), pcr_added=True),
+            ),
+            ifr_signal="IFR",
+            commit_signal="commit",
+            commit_pc_signal="commit_pc",
+            operand_registers=("a",),
+            arf_registers=("arf_w0", "arf_w1"),
+            amem_registers=("amem_w0",),
+        )
+
+    def test_iuv_inflight(self, metadata):
+        v = view(
+            {"occ0": 0, "pc0": 0, "occ1": 0, "pc1": 0, "if_occ": 1, "if_pc": 4}
+        )
+        assert metadata.iuv_inflight(4).evaluate(v, 0, ConcreteOps)
+        assert not metadata.iuv_inflight(8).evaluate(v, 0, ConcreteOps)
+
+    def test_iuv_gone_is_negation(self, metadata):
+        v = view(
+            {"occ0": 1, "pc0": 8, "occ1": 0, "pc1": 0, "if_occ": 0, "if_pc": 0}
+        )
+        assert not metadata.iuv_gone(8).evaluate(v, 0, ConcreteOps)
+        assert metadata.iuv_gone(4).evaluate(v, 0, ConcreteOps)
+
+    def test_annotation_counts(self, metadata):
+        counts = metadata.annotation_counts()
+        assert counts["ufsms"] == 3
+        assert counts["pcrs"] == 3
+        assert counts["pcrs_added"] == 1
+        assert counts["pls"] == 2
+        assert counts["pl_slots"] == 3
+        assert counts["arf_registers"] == 2
+
+    def test_pl_lookup(self, metadata, pl_two_slots):
+        assert metadata.pl("scbIss") is pl_two_slots
+        assert set(metadata.pl_names()) == {"scbIss", "IF"}

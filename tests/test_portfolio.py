@@ -1,0 +1,83 @@
+"""Portfolio-engine tests: enumerative fast path, SAT fallback."""
+
+import itertools
+
+import pytest
+
+from repro.rtl import Module, elaborate, mux
+from repro.mc import (
+    REACHABLE,
+    UNDETERMINED,
+    UNREACHABLE,
+    BmcContext,
+    Context,
+    PortfolioEngine,
+    PropertyStats,
+    SymbolicContextSpec,
+    TraceDB,
+)
+from repro.props import Eventually, Query, sig
+
+
+@pytest.fixture(scope="module")
+def fsm():
+    m = Module("fsm")
+    go = m.input("go", 1)
+    st = m.reg("st", 2, reset=0)
+    st.next = mux(
+        st.q.eq(0) & go,
+        m.const(1, 2),
+        mux(st.q.eq(1), m.const(2, 2), mux(st.q.eq(2), m.const(0, 2), st.q)),
+    )
+    for i in range(4):
+        m.name_signal("s%d" % i, st.q.eq(i))
+    return elaborate(m)
+
+
+def narrow_db(fsm):
+    # go pinned low: the family never reaches s1/s2
+    return TraceDB(fsm, [Context.make({}, [{"go": 0}] * 6)], complete=False)
+
+
+def full_db(fsm):
+    contexts = [
+        Context.make({}, [{"go": b} for b in bits])
+        for bits in itertools.product([0, 1], repeat=6)
+    ]
+    return TraceDB(fsm, contexts, complete=True)
+
+
+class TestPortfolio:
+    def test_enumerative_conclusive_skips_bmc(self, fsm):
+        engine = PortfolioEngine(full_db(fsm), bmc=None)
+        result = engine.check(Query("r", Eventually(sig("s2"))))
+        assert result.outcome == REACHABLE
+        assert result.engine.endswith("enumerative")
+
+    def test_bmc_upgrades_undetermined_to_reachable(self, fsm):
+        bmc = BmcContext(fsm, horizon=6, context=SymbolicContextSpec())
+        engine = PortfolioEngine(narrow_db(fsm), bmc=bmc)
+        result = engine.check(Query("r", Eventually(sig("s1"))))
+        assert result.outcome == REACHABLE
+        assert result.engine.endswith("bmc")
+
+    def test_bmc_upgrades_undetermined_to_unreachable(self, fsm):
+        bmc = BmcContext(
+            fsm, horizon=6, context=SymbolicContextSpec(), complete_horizon=True
+        )
+        engine = PortfolioEngine(narrow_db(fsm), bmc=bmc)
+        result = engine.check(Query("u", Eventually(sig("s3"))))
+        assert result.outcome == UNREACHABLE
+
+    def test_stays_undetermined_without_bmc(self, fsm):
+        engine = PortfolioEngine(narrow_db(fsm), bmc=None)
+        result = engine.check(Query("r", Eventually(sig("s1"))))
+        assert result.outcome == UNDETERMINED
+
+    def test_stats_recorded_once(self, fsm):
+        stats = PropertyStats(label="portfolio")
+        bmc = BmcContext(fsm, horizon=6, context=SymbolicContextSpec())
+        engine = PortfolioEngine(narrow_db(fsm), bmc=bmc, stats=stats)
+        engine.check(Query("r", Eventually(sig("s1"))))
+        engine.check(Query("u", Eventually(sig("s3"))))
+        assert stats.count == 2

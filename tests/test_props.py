@@ -1,0 +1,159 @@
+"""Property-template semantics over hand-built traces."""
+
+import pytest
+
+from repro.props import (
+    ConcreteOps,
+    ConcreteTraceView,
+    ConsecutiveRevisit,
+    ConsecutiveRunLength,
+    Eventually,
+    NonConsecutiveRevisit,
+    Query,
+    Sequence,
+    VisitedCover,
+    all_of,
+    any_of,
+    eq,
+    none_of,
+    sig,
+)
+
+
+def view(*cycles):
+    return ConcreteTraceView(list(cycles))
+
+
+def ev(prop, v):
+    return prop.evaluate(v, ConcreteOps)
+
+
+class TestCycleExprs:
+    def test_sig_and_eq(self):
+        v = view({"a": 1, "w": 5}, {"a": 0, "w": 6})
+        assert sig("a").evaluate(v, 0, ConcreteOps)
+        assert not sig("a").evaluate(v, 1, ConcreteOps)
+        assert eq("w", 5).evaluate(v, 0, ConcreteOps)
+        assert not eq("w", 5).evaluate(v, 1, ConcreteOps)
+
+    def test_boolean_combinators(self):
+        v = view({"a": 1, "b": 0})
+        assert (sig("a") & ~sig("b")).evaluate(v, 0, ConcreteOps)
+        assert (sig("b") | sig("a")).evaluate(v, 0, ConcreteOps)
+        assert not (sig("a") & sig("b")).evaluate(v, 0, ConcreteOps)
+
+    def test_all_any_none(self):
+        v = view({"a": 1, "b": 1, "c": 0})
+        assert all_of(sig("a"), sig("b")).evaluate(v, 0, ConcreteOps)
+        assert not all_of(sig("a"), sig("c")).evaluate(v, 0, ConcreteOps)
+        assert any_of(sig("c"), sig("a")).evaluate(v, 0, ConcreteOps)
+        assert none_of(sig("c")).evaluate(v, 0, ConcreteOps)
+        assert all_of().evaluate(v, 0, ConcreteOps)
+        assert not any_of().evaluate(v, 0, ConcreteOps)
+
+    def test_signals_collection(self):
+        expr = all_of(sig("a"), ~sig("b") | eq("w", 3))
+        assert expr.signals() == {"a", "b", "w"}
+
+    def test_wide_signal_truthiness(self):
+        v = view({"w": 4}, {"w": 0})
+        assert sig("w").evaluate(v, 0, ConcreteOps)
+        assert not sig("w").evaluate(v, 1, ConcreteOps)
+
+
+class TestEventually:
+    def test_hit(self):
+        assert ev(Eventually(sig("a")), view({"a": 0}, {"a": 1}))
+
+    def test_miss(self):
+        assert not ev(Eventually(sig("a")), view({"a": 0}, {"a": 0}))
+
+    def test_empty_trace(self):
+        assert not ev(Eventually(sig("a")), view())
+
+
+class TestSequence:
+    def test_adjacent(self):
+        v = view({"a": 1, "b": 0}, {"a": 0, "b": 1})
+        assert ev(Sequence(sig("a"), sig("b")), v)
+
+    def test_non_adjacent_misses(self):
+        v = view({"a": 1, "b": 0}, {"a": 0, "b": 0}, {"a": 0, "b": 1})
+        assert not ev(Sequence(sig("a"), sig("b")), v)
+
+    def test_needs_two_cycles(self):
+        assert not ev(Sequence(sig("a"), sig("a")), view({"a": 1}))
+
+
+class TestVisitedCover:
+    def test_positive_and_negative(self):
+        v = view({"a": 1, "b": 0}, {"a": 0, "b": 1})
+        # a visited without b: true at cycle 0
+        assert ev(VisitedCover([sig("a")], [sig("b")]), v)
+        # b visited without a: never (a visited first, sticky)
+        assert not ev(VisitedCover([sig("b")], [sig("a")]), v)
+
+    def test_gate_restricts_sampling(self):
+        v = view({"a": 1, "b": 0, "end": 0}, {"a": 0, "b": 1, "end": 1})
+        # at the gated cycle both have been visited
+        assert not ev(VisitedCover([sig("a")], [sig("b")], gate=sig("end")), v)
+        assert ev(VisitedCover([sig("a"), sig("b")], [], gate=sig("end")), v)
+
+    def test_multiple_positives(self):
+        v = view({"a": 1, "b": 0}, {"a": 0, "b": 1})
+        assert ev(VisitedCover([sig("a"), sig("b")], []), v)
+
+
+class TestRevisits:
+    def test_consecutive(self):
+        assert ev(ConsecutiveRevisit(sig("a")), view({"a": 1}, {"a": 1}))
+        assert not ev(ConsecutiveRevisit(sig("a")), view({"a": 1}, {"a": 0}, {"a": 1}))
+
+    def test_nonconsecutive(self):
+        prop = NonConsecutiveRevisit(sig("a"))
+        assert ev(prop, view({"a": 1}, {"a": 0}, {"a": 1}))
+        assert not ev(prop, view({"a": 1}, {"a": 1}, {"a": 0}))
+        assert not ev(prop, view({"a": 1}, {"a": 0}, {"a": 0}))
+
+    def test_nonconsecutive_after_long_gap(self):
+        prop = NonConsecutiveRevisit(sig("a"))
+        assert ev(prop, view({"a": 1}, {"a": 0}, {"a": 0}, {"a": 0}, {"a": 1}))
+
+
+class TestRunLength:
+    def test_exact_run(self):
+        v = view({"a": 0}, {"a": 1}, {"a": 1}, {"a": 0})
+        assert ev(ConsecutiveRunLength(sig("a"), 2), v)
+        assert not ev(ConsecutiveRunLength(sig("a"), 1), v)
+        assert not ev(ConsecutiveRunLength(sig("a"), 3), v)
+
+    def test_run_at_start(self):
+        v = view({"a": 1}, {"a": 0}, {"a": 0})
+        assert ev(ConsecutiveRunLength(sig("a"), 1), v)
+
+    def test_open_run_at_horizon_ignored(self):
+        v = view({"a": 0}, {"a": 1}, {"a": 1})
+        assert not ev(ConsecutiveRunLength(sig("a"), 2), v)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            ConsecutiveRunLength(sig("a"), 0)
+
+
+class TestQuery:
+    def test_signal_collection(self):
+        q = Query("q", Eventually(sig("a")), assumes=(sig("b"), ~sig("c")))
+        assert q.signals() == {"a", "b", "c"}
+
+
+class TestIndexedView:
+    def test_tuple_mode_matches_dict_mode(self):
+        names = ["a", "w"]
+        rows = [(1, 5), (0, 6)]
+        indexed = ConcreteTraceView(rows, names=names)
+        dicts = ConcreteTraceView([dict(zip(names, r)) for r in rows])
+        for t in range(2):
+            assert indexed.bit("a", t) == dicts.bit("a", t)
+            assert indexed.word("w", t) == dicts.word("w", t)
+            assert indexed.word_eq_const("w", 5, t) == dicts.word_eq_const("w", 5, t)
+        assert indexed.as_dicts() == dicts.as_dicts()

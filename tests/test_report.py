@@ -1,0 +1,164 @@
+"""Report tests: Fig. 8 matrix construction, Table II, stats tables."""
+
+import pytest
+
+from repro.core.pl import DesignMetadata, MicroFsm, PerformingLocation, PlSlot
+from repro.core.synthlc import LeakageSignature, SynthLCResult, TransmitterTag
+from repro.mc.outcomes import CheckResult
+from repro.mc.stats import PropertyStats
+from repro.report import (
+    CLASS_REPRESENTATIVES,
+    build_fig8,
+    class_members,
+    property_stats_report,
+    render_table,
+    table2_report,
+)
+
+
+def tag(t, ttype, op="rs1", fp=False):
+    return TransmitterTag(transmitter=t, ttype=ttype, operand=op, false_positive=fp)
+
+
+def sigfix(p, src, dsts, tags):
+    return LeakageSignature(
+        transponder=p,
+        src=src,
+        destinations=tuple(frozenset(d) for d in dsts),
+        inputs=tuple(tags),
+    )
+
+
+@pytest.fixture
+def small_result():
+    signatures = [
+        sigfix("DIV", "divU", [["divU"], ["scbFin"]], [tag("DIV", "intrinsic")]),
+        sigfix("LW", "issue", [["ldFin"], ["LSQ"]], [tag("SW", "dynamic_older")]),
+        # pure stall behind an intrinsic transmitter: secondary leakage
+        sigfix("ADD", "scbFin", [["scbFin"], []], [tag("DIV", "dynamic_older")]),
+        sigfix("BEQ", "scbIss", [["aluU"], ["scbFin"]],
+               [tag("MUL", "dynamic_older", fp=True)]),
+    ]
+    return SynthLCResult(
+        signatures=signatures,
+        transponders=["ADD", "BEQ", "DIV", "LW"],
+        candidate_transponders=["ADD", "BEQ", "DIV", "LW"],
+        transmitters={
+            "intrinsic": {"DIV"},
+            "dynamic_older": {"SW", "DIV"},
+            "dynamic_younger": set(),
+            "static": set(),
+        },
+        tags_by_decision={},
+        stats=PropertyStats(),
+    )
+
+
+class TestClassExtension:
+    def test_representatives_cover_all_classes(self):
+        from repro.designs import isa
+
+        covered = set()
+        for class_name in CLASS_REPRESENTATIVES:
+            covered.update(class_members(class_name))
+        assert len(covered) == 72
+
+    def test_rep_belongs_to_class(self):
+        from repro.designs import isa
+
+        for class_name, rep in CLASS_REPRESENTATIVES.items():
+            assert isa.BY_NAME[rep].cls == class_name
+
+
+class TestFig8:
+    def test_extension_to_72_transponders_scale(self, small_result):
+        matrix = build_fig8(small_result, extend_classes=True)
+        # 4 transponder classes extended: alu(38) + branch(6) + div(8) + load(7)
+        from repro.designs import isa
+
+        expected = sum(
+            len(isa.CLASSES[c]) for c in ("alu", "branch", "div", "load")
+        )
+        assert matrix.num_transponders == expected == 59
+
+    def test_unextended_counts(self, small_result):
+        matrix = build_fig8(small_result, extend_classes=False)
+        assert matrix.num_transponders == 4
+        assert matrix.unique_signatures == 4
+
+    def test_transmitter_extension(self, small_result):
+        matrix = build_fig8(small_result, extend_classes=True)
+        # DIV class extends to 8 intrinsic transmitters, stores add 4 dynamics
+        assert len(matrix.intrinsic_transmitters) == 8
+        assert set(matrix.dynamic_transmitters) >= set(class_members("store"))
+
+    def test_cell_kinds(self, small_result):
+        matrix = build_fig8(small_result, extend_classes=False)
+        kinds = {cell.kind for cell in matrix.cells.values()}
+        assert kinds == {"primary", "secondary", "false-positive"}
+
+    def test_secondary_requires_stall_shape(self, small_result):
+        matrix = build_fig8(small_result, extend_classes=False)
+        for (ri, ci), cell in matrix.cells.items():
+            transponder, signature = matrix.columns[ci]
+            if cell.kind == "secondary":
+                assert signature.name == "ADD_scbFin"
+
+    def test_render(self, small_result):
+        text = build_fig8(small_result, extend_classes=False).render()
+        assert "transponders" in text and "signatures" in text
+
+    def test_false_positive_signature_count(self, small_result):
+        matrix = build_fig8(small_result, extend_classes=False)
+        assert matrix.false_positive_signatures == 1
+
+
+class TestTables:
+    def _metadata(self):
+        pls = {
+            "IF": PerformingLocation("IF", (PlSlot("pl_IF_occ", "pl_IF_pc"),), ("u0",)),
+        }
+        return DesignMetadata(
+            design_name="toy",
+            pls=pls,
+            ufsms=(MicroFsm("u0", "if_pc", ("if_v",)), MicroFsm("u1", "x_pc", ("x",), pcr_added=True)),
+            ifr_signal="IFR",
+            commit_signal="commit",
+            commit_pc_signal="commit_pc",
+            operand_registers=("a", "b"),
+            arf_registers=("arf_w0",),
+            amem_registers=(),
+        )
+
+    def test_table2_columns(self):
+        text = table2_report({"toy": self._metadata()})
+        assert "uFSMs" in text and "PCRs added" in text and "toy" in text
+
+    def test_annotation_counts(self):
+        counts = self._metadata().annotation_counts()
+        assert counts["ufsms"] == 2
+        assert counts["pcrs_added"] == 1
+        assert counts["operand_registers"] == 2
+
+    def test_property_stats_report(self):
+        stats = PropertyStats(label="phase1")
+        stats.record(CheckResult("a", "reachable", "e", time_seconds=0.5))
+        stats.record(CheckResult("b", "undetermined", "e", time_seconds=1.5))
+        text = property_stats_report({"phase1": stats})
+        assert "phase1" in text and "50.00" in text
+
+    def test_stats_merge_and_summary(self):
+        s1 = PropertyStats(label="a")
+        s1.record(CheckResult("x", "reachable", "e", time_seconds=1.0))
+        s2 = PropertyStats(label="b")
+        s2.record(CheckResult("y", "unreachable", "e", time_seconds=3.0))
+        merged = s1.merged(s2)
+        assert merged.count == 2
+        assert merged.mean_time == 2.0
+        assert "2 properties" in merged.summary()
+
+    def test_render_table_alignment(self):
+        text = render_table(["col", "x"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])

@@ -1,0 +1,209 @@
+"""Unit tests: expression nodes, width rules, constant folding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtl import Module, WidthError, cat, mux, redand, redor, sext, trunc, zext
+
+
+@pytest.fixture
+def m():
+    return Module("t")
+
+
+class TestLeaves:
+    def test_input_width(self, m):
+        a = m.input("a", 5)
+        assert a.width == 5 and a.op == "input"
+
+    def test_input_rejects_zero_width(self, m):
+        with pytest.raises(WidthError):
+            m.input("a", 0)
+
+    def test_const_masks_value(self, m):
+        c = m.const(0x1FF, 8)
+        assert c.value == 0xFF
+
+    def test_const_shared(self, m):
+        assert m.const(3, 4) is m.const(3, 4)
+
+    def test_const_distinct_widths(self, m):
+        assert m.const(3, 4) is not m.const(3, 5)
+
+
+class TestWidthRules:
+    def test_and_width_mismatch(self, m):
+        with pytest.raises(WidthError):
+            m.input("a", 4) & m.input("b", 5)
+
+    def test_add_width_mismatch(self, m):
+        with pytest.raises(WidthError):
+            m.input("a", 4) + m.input("b", 5)
+
+    def test_mux_selector_must_be_1bit(self, m):
+        sel = m.input("s", 2)
+        a, b = m.input("a", 4), m.input("b", 4)
+        # mux() reduces wide selectors via .bool()
+        node = mux(sel, a, b)
+        assert node.width == 4
+
+    def test_slice_out_of_range(self, m):
+        a = m.input("a", 4)
+        with pytest.raises(WidthError):
+            a[2:6]
+
+    def test_slice_negative(self, m):
+        a = m.input("a", 4)
+        with pytest.raises(WidthError):
+            a[-1]
+
+    def test_zext_narrower_rejected(self, m):
+        with pytest.raises(WidthError):
+            zext(m.input("a", 8), 4)
+
+    def test_trunc_wider_rejected(self, m):
+        with pytest.raises(WidthError):
+            trunc(m.input("a", 4), 8)
+
+
+class TestFolding:
+    def test_and_zero(self, m):
+        a = m.input("a", 4)
+        assert (a & 0).is_const() and (a & 0).value == 0
+
+    def test_and_ones(self, m):
+        a = m.input("a", 4)
+        assert (a & 0xF) is a
+
+    def test_or_zero(self, m):
+        a = m.input("a", 4)
+        assert (a | 0) is a
+
+    def test_xor_self(self, m):
+        a = m.input("a", 4)
+        assert (a ^ a).value == 0
+
+    def test_add_zero(self, m):
+        a = m.input("a", 4)
+        assert (a + 0) is a
+
+    def test_sub_self(self, m):
+        a = m.input("a", 4)
+        assert (a - a).value == 0
+
+    def test_double_not(self, m):
+        a = m.input("a", 4)
+        assert ~(~a) is a
+
+    def test_mux_const_selector(self, m):
+        a, b = m.input("a", 4), m.input("b", 4)
+        one = m.const(1, 1)
+        zero = m.const(0, 1)
+        assert mux(one, a, b) is a
+        assert mux(zero, a, b) is b
+
+    def test_mux_same_arms(self, m):
+        s = m.input("s", 1)
+        a = m.input("a", 4)
+        assert mux(s, a, a) is a
+
+    def test_eq_self(self, m):
+        a = m.input("a", 4)
+        assert a.eq(a).value == 1
+
+    def test_ult_zero(self, m):
+        a = m.input("a", 4)
+        assert a.ult(0).value == 0
+
+    def test_const_arith(self, m):
+        assert (m.const(7, 4) + m.const(12, 4)).value == (7 + 12) & 0xF
+        assert (m.const(3, 4) * m.const(6, 4)).value == (18) & 0xF
+        assert (m.const(3, 4) - m.const(6, 4)).value == (3 - 6) & 0xF
+
+    def test_full_slice_identity(self, m):
+        a = m.input("a", 4)
+        assert a[0:4] is a
+
+    def test_structural_sharing(self, m):
+        a, b = m.input("a", 4), m.input("b", 4)
+        assert (a & b) is (a & b)
+
+    def test_commutative_canonical(self, m):
+        a, b = m.input("a", 4), m.input("b", 4)
+        assert (a & b) is (b & a)
+        assert (a + b) is (b + a)
+
+
+class TestHelpers:
+    def test_cat_width(self, m):
+        a, b = m.input("a", 3), m.input("b", 5)
+        assert cat(a, b).width == 8
+
+    def test_cat_const(self, m):
+        # cat is MSB-first
+        node = cat(m.const(0b101, 3), m.const(0b01, 2))
+        assert node.value == 0b10101
+
+    def test_zext(self, m):
+        node = zext(m.const(0b11, 2), 5)
+        assert node.width == 5 and node.value == 0b11
+
+    def test_sext_negative(self, m):
+        node = sext(m.const(0b10, 2), 4)
+        assert node.value == 0b1110
+
+    def test_sext_positive(self, m):
+        node = sext(m.const(0b01, 2), 4)
+        assert node.value == 0b0001
+
+    def test_redor_const(self, m):
+        assert redor(m.const(0, 4)).value == 0
+        assert redor(m.const(2, 4)).value == 1
+
+    def test_redand_const(self, m):
+        assert redand(m.const(0xF, 4)).value == 1
+        assert redand(m.const(0xE, 4)).value == 0
+
+    def test_bool_of_1bit_identity(self, m):
+        a = m.input("a", 1)
+        assert a.bool() is a
+
+    def test_shift_by_zero_identity(self, m):
+        a = m.input("a", 4)
+        assert (a << 0) is a and (a >> 0) is a
+
+    def test_ne(self, m):
+        assert m.const(3, 4).ne(3).value == 0
+        assert m.const(3, 4).ne(4).value == 1
+
+    def test_unsigned_compare_helpers(self, m):
+        three, five = m.const(3, 4), m.const(5, 4)
+        assert three.ult(five).value == 1
+        assert three.ule(five).value == 1
+        assert five.ugt(three).value == 1
+        assert five.uge(five).value == 1
+
+
+@given(a=st.integers(0, 255), b=st.integers(0, 255))
+def test_const_fold_matches_python(a, b):
+    m = Module("h")
+    ca, cb = m.const(a, 8), m.const(b, 8)
+    assert (ca & cb).value == a & b
+    assert (ca | cb).value == a | b
+    assert (ca ^ cb).value == a ^ b
+    assert (ca + cb).value == (a + b) & 0xFF
+    assert (ca - cb).value == (a - b) & 0xFF
+    assert (ca * cb).value == (a * b) & 0xFF
+    assert ca.eq(cb).value == int(a == b)
+    assert ca.ult(cb).value == int(a < b)
+
+
+@given(a=st.integers(0, 255), lo=st.integers(0, 7), width=st.integers(1, 8))
+def test_const_slice_matches_python(a, lo, width):
+    if lo + width > 8:
+        width = 8 - lo
+    if width <= 0:
+        return
+    m = Module("h")
+    node = m.const(a, 8)[lo : lo + width]
+    assert node.value == (a >> lo) & ((1 << width) - 1)

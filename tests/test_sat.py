@@ -1,0 +1,173 @@
+"""SAT solver tests: correctness against brute force, budgets, assumptions."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import SAT, UNKNOWN, UNSAT, SatSolver
+
+
+def brute_force(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        ok = True
+        for clause in clauses:
+            if not any(bits[abs(l) - 1] == (l > 0) for l in clause):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert SatSolver().solve() == SAT
+
+    def test_unit(self):
+        s = SatSolver()
+        v = s.new_var()
+        s.add_clause([v])
+        assert s.solve() == SAT and s.model_value(v)
+
+    def test_contradiction(self):
+        s = SatSolver()
+        v = s.new_var()
+        s.add_clause([v])
+        s.add_clause([-v])
+        assert s.solve() == UNSAT
+
+    def test_tautology_ignored(self):
+        s = SatSolver()
+        v = s.new_var()
+        s.add_clause([v, -v])
+        assert s.solve() == SAT
+
+    def test_duplicate_literals_collapse(self):
+        s = SatSolver()
+        v = s.new_var()
+        s.add_clause([v, v, v])
+        assert s.solve() == SAT and s.model_value(v)
+
+    def test_implication_chain(self):
+        s = SatSolver()
+        vs = [s.new_var() for _ in range(50)]
+        for i in range(49):
+            s.add_clause([-vs[i], vs[i + 1]])
+        s.add_clause([vs[0]])
+        assert s.solve() == SAT
+        assert all(s.model_value(v) for v in vs)
+
+    def test_model_satisfies_clauses(self):
+        s = SatSolver()
+        vs = [s.new_var() for _ in range(8)]
+        clauses = [[vs[0], -vs[1]], [vs[1], vs[2]], [-vs[2], vs[3], -vs[4]],
+                   [vs[4], vs[5]], [-vs[5], -vs[0]], [vs[6], vs[7]]]
+        for c in clauses:
+            s.add_clause(c)
+        assert s.solve() == SAT
+        for c in clauses:
+            assert any(s.model_value(abs(l)) == (l > 0) for l in c)
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_unsat(self, holes):
+        pigeons = holes + 1
+        s = SatSolver()
+        p = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        for i in range(pigeons):
+            s.add_clause(p[i])
+        for h in range(holes):
+            for i in range(pigeons):
+                for j in range(i + 1, pigeons):
+                    s.add_clause([-p[i][h], -p[j][h]])
+        assert s.solve() == UNSAT
+
+    def test_sat_when_enough_holes(self):
+        s = SatSolver()
+        holes, pigeons = 3, 3
+        p = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        for i in range(pigeons):
+            s.add_clause(p[i])
+        for h in range(holes):
+            for i in range(pigeons):
+                for j in range(i + 1, pigeons):
+                    s.add_clause([-p[i][h], -p[j][h]])
+        assert s.solve() == SAT
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([-a, b])
+        assert s.solve(assumptions=[a]) == SAT
+        assert s.model_value(b)
+
+    def test_conflicting_assumptions(self):
+        s = SatSolver()
+        a = s.new_var()
+        assert s.solve(assumptions=[a, -a]) == UNSAT
+
+    def test_assumption_vs_clause_conflict(self):
+        s = SatSolver()
+        a = s.new_var()
+        s.add_clause([-a])
+        assert s.solve(assumptions=[a]) == UNSAT
+
+    def test_reusable_across_assumptions(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve(assumptions=[-a]) == SAT
+        assert s.model_value(b)
+        assert s.solve(assumptions=[-b]) == SAT
+        assert s.model_value(a)
+        assert s.solve(assumptions=[-a, -b]) == UNSAT
+        # the solver must remain usable after an assumption failure
+        assert s.solve(assumptions=[a, b]) == SAT
+
+
+class TestBudget:
+    def test_budget_yields_unknown(self):
+        # hard PHP instance with a tiny conflict budget
+        s = SatSolver()
+        holes = 7
+        pigeons = holes + 1
+        p = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        for i in range(pigeons):
+            s.add_clause(p[i])
+        for h in range(holes):
+            for i in range(pigeons):
+                for j in range(i + 1, pigeons):
+                    s.add_clause([-p[i][h], -p[j][h]])
+        assert s.solve(max_conflicts=5) == UNKNOWN
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 100000),
+    num_vars=st.integers(3, 8),
+    num_clauses=st.integers(3, 30),
+)
+def test_random_3sat_matches_brute_force(seed, num_vars, num_clauses):
+    import random
+
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        size = rng.randrange(1, 4)
+        variables = rng.sample(range(1, num_vars + 1), min(size, num_vars))
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    s = SatSolver()
+    for _ in range(num_vars):
+        s.new_var()
+    for c in clauses:
+        s.add_clause(c)
+    verdict = s.solve()
+    expected = brute_force(num_vars, clauses)
+    assert verdict == (SAT if expected else UNSAT)
+    if verdict == SAT:
+        for c in clauses:
+            assert any(s.model_value(abs(l)) == (l > 0) for l in c)

@@ -1,0 +1,122 @@
+"""Simulator tests: compiled semantics, reset overrides, traces, VCD."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtl import Module, elaborate, mux
+from repro.sim import Simulator, Trace, trace_to_vcd
+
+from circuit_gen import MASK, WIDTH, build_random_expr
+
+
+class TestCounter:
+    def _counter(self):
+        m = Module("c")
+        en = m.input("en", 1)
+        c = m.reg("count", 4, reset=0)
+        c.next = mux(en, c.q + 1, c.q)
+        m.name_signal("value", c.q)
+        return elaborate(m)
+
+    def test_counts(self):
+        sim = Simulator(self._counter())
+        values = [sim.step({"en": 1})["value"] for _ in range(5)]
+        assert values == [0, 1, 2, 3, 4]
+
+    def test_enable_gates(self):
+        sim = Simulator(self._counter())
+        sim.step({"en": 1})
+        sim.step({"en": 0})
+        assert sim.step({"en": 0})["value"] == 1
+
+    def test_wraps(self):
+        sim = Simulator(self._counter())
+        for _ in range(16):
+            sim.step({"en": 1})
+        assert sim.step({"en": 1})["value"] == 0
+
+    def test_reset_restores(self):
+        sim = Simulator(self._counter())
+        sim.step({"en": 1})
+        sim.step({"en": 1})
+        sim.reset()
+        assert sim.step({"en": 0})["value"] == 0
+        assert sim.cycle == 1
+
+    def test_reset_overrides(self):
+        sim = Simulator(self._counter())
+        sim.reset({"count": 9})
+        assert sim.step({"en": 0})["value"] == 9
+
+    def test_reset_override_unknown_register(self):
+        sim = Simulator(self._counter())
+        with pytest.raises(KeyError):
+            sim.reset({"nope": 1})
+
+    def test_unknown_input_rejected(self):
+        sim = Simulator(self._counter())
+        with pytest.raises(KeyError):
+            sim.step({"bogus": 1})
+
+    def test_missing_inputs_default_zero(self):
+        sim = Simulator(self._counter())
+        assert sim.step({})["value"] == 0
+
+    def test_step_tuple_matches_step(self):
+        n = self._counter()
+        s1, s2 = Simulator(n), Simulator(n)
+        for _ in range(4):
+            obs = s1.step({"en": 1})
+            row = s2.step_tuple({"en": 1})
+            assert obs == dict(zip(s2.observable_names, row))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), a=st.integers(0, MASK), b=st.integers(0, MASK))
+def test_random_expression_matches_reference(seed, a, b):
+    m, _node, ref = build_random_expr(seed)
+    sim = Simulator(elaborate(m))
+    obs = sim.step({"a": a, "b": b})
+    expected = ref(a, b) & MASK
+    assert obs["out"] == expected
+    assert obs["red_or"] == int(expected != 0)
+    assert obs["red_and"] == int(expected == MASK)
+
+
+class TestTraceAndVcd:
+    def _make_trace(self):
+        trace = Trace(["sig", "bus"])
+        trace.append({"sig": 0, "bus": 3}, {})
+        trace.append({"sig": 1, "bus": 3}, {})
+        trace.append({"sig": 1, "bus": 7}, {})
+        return trace
+
+    def test_trace_access(self):
+        trace = self._make_trace()
+        assert len(trace) == 3
+        assert trace.value(1, "sig") == 1
+        assert trace.column("bus") == [3, 3, 7]
+
+    def test_vcd_structure(self):
+        vcd = trace_to_vcd(self._make_trace())
+        assert "$enddefinitions" in vcd
+        assert "$var wire" in vcd
+        assert vcd.count("#") >= 3  # timestamps
+
+    def test_vcd_only_changes_emitted(self):
+        vcd = trace_to_vcd(self._make_trace())
+        # bus changes at cycles 0 and 2 only: two b-value lines
+        assert sum(1 for line in vcd.splitlines() if line.startswith("b")) == 2
+
+    def test_vcd_width_override(self):
+        vcd = trace_to_vcd(self._make_trace(), widths={"bus": 8})
+        assert "$var wire 8" in vcd
+
+    def test_run_records(self):
+        m = Module("c")
+        c = m.reg("x", 3)
+        c.next = c.q + 1
+        m.name_signal("x_val", c.q)
+        sim = Simulator(elaborate(m))
+        trace = sim.run([{}] * 4)
+        assert trace.column("x_val") == [0, 1, 2, 3]
