@@ -10,6 +10,7 @@ pushed further (8-bit datapath); benches report paper-scale values next to
 measured values and assert the *shape* relations.
 """
 
+import json
 import os
 import sys
 
@@ -112,6 +113,19 @@ def cache_synthlc_result(cache_synthlc_tool, cache_mupath_results):
     return cache_synthlc_tool.classify(
         cache_mupath_results, transmitters=["LD", "ST"]
     )
+
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def record_bench_json(filename, payload):
+    """Persist a bench's measured numbers as a committed repo artifact
+    (e.g. ``ENGINE_BENCH.json``); returns the written path."""
+    path = os.path.join(REPO_ROOT, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def print_banner(title):

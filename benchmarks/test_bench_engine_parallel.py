@@ -1,0 +1,87 @@
+"""Job-engine bench: serial vs parallel vs warm-proof-cache wall clock.
+
+Runs the CLI's 5-instruction ``synth-all`` workload (the artifact's
+restricted ISA) three ways -- the serial reference, a cold ``--jobs 4``
+engine run with a proof cache, and a warm re-run against that cache --
+asserts bit-identical results throughout, and records the measured
+timings to ``ENGINE_BENCH.json`` in the repo root.
+
+Honesty note: the pool can only beat serial when cores are available; the
+recorded ``cpu_count`` puts the parallel number in context (on a 1-core
+container the pool adds overhead and the warm cache is the headline,
+replaying every verdict without evaluating a single property).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.cli import _default_provider
+from repro.core import Rtl2MuPath
+from repro.engine import EngineConfig, JobScheduler
+
+from conftest import print_banner, record_bench_json
+
+FIVE = ("ADD", "BEQ", "LW", "SW", "DIV")
+
+
+def _run(design, jobs=None, cache_dir=None):
+    tool = Rtl2MuPath(design, _default_provider(design.config.xlen))
+    engine = (
+        JobScheduler(EngineConfig(jobs=jobs, cache_dir=cache_dir))
+        if jobs is not None
+        else None
+    )
+    started = time.perf_counter()
+    results = tool.synthesize_all(FIVE, engine=engine)
+    elapsed = time.perf_counter() - started
+    return elapsed, results, tool, engine
+
+
+def test_engine_serial_vs_parallel_vs_warm(bench_core, tmp_path, benchmark):
+    cache_dir = str(tmp_path / "proof-cache")
+
+    serial_s, serial_results, serial_tool, _ = _run(bench_core)
+    cold_s, cold_results, cold_tool, cold_engine = _run(
+        bench_core, jobs=4, cache_dir=cache_dir
+    )
+    warm_s, warm_results, warm_tool, warm_engine = _run(
+        bench_core, jobs=4, cache_dir=cache_dir
+    )
+
+    # the engine must never change the answer
+    for name in FIVE:
+        assert cold_results[name] == serial_results[name], name
+        assert warm_results[name] == serial_results[name], name
+    assert cold_tool.stats.count == serial_tool.stats.count
+    assert warm_tool.stats.count == serial_tool.stats.count
+    # warm run re-checks zero properties and reconciles exactly
+    warm = warm_engine.last_manifest
+    assert warm.properties_evaluated == 0
+    assert warm.cache_hits == len(FIVE)
+    assert warm.reconciles(warm_tool.stats)
+    assert cold_engine.last_manifest.reconciles(cold_tool.stats)
+
+    payload = {
+        "workload": "synth-all %s" % " ".join(FIVE),
+        "properties": serial_tool.stats.count,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_cold_seconds": round(cold_s, 3),
+        "parallel_jobs": 4,
+        "warm_cache_seconds": round(warm_s, 3),
+        "warm_speedup_vs_serial": round(serial_s / warm_s, 1),
+        "warm_properties_evaluated": warm.properties_evaluated,
+        "warm_properties_replayed": warm.properties_replayed,
+    }
+    path = record_bench_json("ENGINE_BENCH.json", payload)
+
+    print_banner("Job engine -- serial vs --jobs 4 vs warm proof cache")
+    print("%d properties on %d core(s)" % (payload["properties"],
+                                           payload["cpu_count"]))
+    print("serial:          %7.2fs" % serial_s)
+    print("parallel (cold): %7.2fs" % cold_s)
+    print("warm cache:      %7.2fs  (%.0fx, 0 properties evaluated)"
+          % (warm_s, serial_s / warm_s))
+    print("recorded -> %s" % path)

@@ -7,6 +7,23 @@ Commands:
 * ``uspec INSTR [INSTR...]`` -- emit a uSPEC-style model
 * ``table2``       -- print the metadata (Table II) report
 * ``sc-safe INSTR REG`` -- Definition V.1 check: run INSTR with REG secret
+* ``synth-all [INSTR...]`` -- batch uPATH synthesis through the parallel
+  verification job engine (default: one representative per functional
+  class).  Flags:
+
+  * ``--jobs N`` -- worker processes (default: all cores; ``1`` = the
+    serial in-process reference path);
+  * ``--cache-dir DIR`` -- persistent proof cache: re-runs replay prior
+    REACHABLE/UNREACHABLE verdicts instead of re-checking them, and any
+    change to the netlist, context family, or tool config invalidates
+    entries automatically (UNDETERMINED is never cached as final);
+  * ``--trace FILE`` -- append structured JSONL run telemetry (job
+    start/finish, cache hit/miss, verdicts, retries, timings) plus a
+    run-manifest summary that reconciles with the SS VII-B3 property
+    accounting;
+  * ``--timeout SECONDS`` / ``--max-attempts N`` -- per-job wall-clock
+    deadline and the retry-with-escalated-conflict-budget ladder for
+    UNDETERMINED outcomes.
 
 The CLI is a thin veneer over the library; see ``examples/`` for richer
 workflows.
@@ -19,7 +36,7 @@ import sys
 
 from .core import Rtl2MuPath, UhbGraph, check_sc_safe
 from .designs import ContextFamilyConfig, CoreContextProvider, build_core, isa
-from .report import render_uspec_model, table2_report
+from .report import CLASS_REPRESENTATIVES, render_uspec_model, table2_report
 
 
 def _default_provider(xlen: int) -> CoreContextProvider:
@@ -99,6 +116,59 @@ def cmd_sc_safe(args):
     return 1
 
 
+def cmd_synth_all(args):
+    from .engine import EngineConfig, EngineError, JobScheduler
+
+    names = list(args.instrs) or sorted(set(CLASS_REPRESENTATIVES.values()))
+    known = {s.name for s in isa.INSTRUCTIONS}
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        print("unknown instruction(s): %s" % ", ".join(unknown))
+        return 2
+    design = build_core()
+    tool = Rtl2MuPath(design, _default_provider(design.config.xlen))
+    engine = JobScheduler(
+        EngineConfig(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            trace_path=args.trace,
+            timeout_seconds=args.timeout,
+            max_attempts=args.max_attempts,
+        )
+    )
+    try:
+        results = tool.synthesize_all(names, engine=engine)
+    except EngineError as exc:
+        print("engine error: %s" % exc)
+        manifest = engine.last_manifest
+        if manifest is not None:
+            print(manifest.summary())
+        return 1
+    except OSError as exc:
+        print("error: %s" % exc)
+        return 1
+    for name in names:
+        result = results[name]
+        print(
+            "%-6s %d uPATH families, %d concrete paths, %d decision sources%s"
+            % (
+                name,
+                result.num_upaths,
+                len(result.concrete_paths),
+                len(result.decisions.sources),
+                " [multi-path]" if result.multi_path else "",
+            )
+        )
+    print()
+    print(tool.stats.summary())
+    manifest = engine.last_manifest
+    print(manifest.summary())
+    if not manifest.reconciles(tool.stats):
+        print("WARNING: telemetry manifest does not reconcile with stats")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RTL2MuPATH + SynthLC reproduction CLI"
@@ -125,6 +195,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("instr", choices=[s.name for s in isa.INSTRUCTIONS])
     p.add_argument("register", help="architectural register, e.g. arf_w1")
     p.set_defaults(func=cmd_sc_safe)
+
+    p = sub.add_parser(
+        "synth-all",
+        help="batch uPATH synthesis via the parallel job engine",
+    )
+    p.add_argument(
+        "instrs",
+        nargs="*",
+        metavar="INSTR",
+        help="instructions (default: one representative per class)",
+    )
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: all cores)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent proof-cache directory")
+    p.add_argument("--trace", default=None,
+                   help="JSONL telemetry output path")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job wall-clock deadline in seconds")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="attempts per job (retries escalate conflict budget)")
+    p.set_defaults(func=cmd_synth_all)
     return parser
 
 

@@ -401,6 +401,27 @@ class Rtl2MuPath:
             truncated=truncated,
         )
 
+    # ------------------------------------------------------- batch synthesis
+    def synthesize_all(
+        self, iuv_names: Sequence[str], engine=None
+    ) -> Dict[str, MuPathResult]:
+        """Synthesize every IUV in ``iuv_names``.
+
+        With ``engine=None`` this is the serial reference path.  Passing a
+        :class:`repro.engine.JobScheduler` fans the per-IUV jobs (which are
+        independent; the paper runs 72 of them per DUV) across worker
+        processes, replays proof-cache hits, and folds every per-property
+        result -- fresh or replayed -- back into ``self.stats``, so the
+        SS VII-B3 accounting is identical to a serial run's.
+        """
+        if engine is None:
+            return {name: self.synthesize(name) for name in iuv_names}
+        from ..engine.specs import synthesis_jobs_for
+
+        jobs = synthesis_jobs_for(self, iuv_names)
+        outcome = engine.run(jobs, stats=self.stats)
+        return {job.iuv: outcome.results[job.job_id] for job in jobs}
+
     # ------------------------------------------------------------- internals
     @staticmethod
     def _has_edge(path: CycleAccuratePath, pl0: str, pl1: str) -> bool:

@@ -229,6 +229,7 @@ class SynthLC:
         self.provider = provider
         self.config = config or SynthLCConfig()
         self.stats = stats if stats is not None else PropertyStats(label="synthlc")
+        self.extra_persistent = tuple(extra_persistent)
         self.ift = instrument_design(design, extra_persistent=extra_persistent)
 
     # ------------------------------------------------------------------ main
@@ -236,46 +237,58 @@ class SynthLC:
         self,
         mupath_results: Dict[str, MuPathResult],
         transmitters: Optional[Sequence[str]] = None,
+        engine=None,
     ) -> SynthLCResult:
         """Synthesize leakage signatures.
 
         ``mupath_results`` maps instruction name -> RTL2MuPATH output;
         ``transmitters`` restricts the candidate transmitter list (default:
-        every instruction with uPATH results).
+        every instruction with uPATH results).  Passing a
+        :class:`repro.engine.JobScheduler` as ``engine`` fans the
+        independent (transponder, transmitter, assumption, operand)
+        classification runs across worker processes with proof-cache
+        reuse; results and property accounting are identical to the
+        serial path.
         """
-        cfg = self.config
-        transmitter_list = list(transmitters or mupath_results)
         candidates = [
             name for name, res in mupath_results.items() if res.multi_path
         ]
         tags_by_decision: Dict[Tuple[str, str, FrozenSet[str]], Set[TransmitterTag]] = {}
         found_types: Dict[str, Set[str]] = {a: set() for a in ASSUMPTIONS}
+        items = self._work_items(
+            mupath_results, list(transmitters or mupath_results), candidates
+        )
 
-        for p_name in candidates:
-            decisions = mupath_results[p_name].decisions
-            decision_list = decisions.decisions()
-            if not decision_list:
-                continue
-            for t_name in transmitter_list:
-                spec = isa.BY_NAME.get(t_name)
-                for assumption in cfg.assumptions:
-                    if assumption == "intrinsic" and t_name != p_name:
-                        continue
-                    for operand in cfg.operands:
-                        if spec is not None:
-                            if operand == "rs1" and not spec.reads_rs1:
-                                continue
-                            if operand == "rs2" and not spec.reads_rs2:
-                                continue
-                        self._classify_one(
-                            p_name,
-                            t_name,
-                            assumption,
-                            operand,
-                            decision_list,
-                            tags_by_decision,
-                            found_types,
-                        )
+        if engine is None:
+            for p_name, t_name, assumption, operand, decision_list in items:
+                self._classify_one(
+                    p_name,
+                    t_name,
+                    assumption,
+                    operand,
+                    decision_list,
+                    tags_by_decision,
+                    found_types,
+                )
+        else:
+            from ..engine.specs import synthlc_jobs_for
+
+            jobs = synthlc_jobs_for(self, items)
+            outcome = engine.run(jobs, stats=self.stats)
+            for job in jobs:
+                for src, dst, t_name, ttype, operand, fp in (
+                    outcome.results[job.job_id] or ()
+                ):
+                    tag = TransmitterTag(
+                        transmitter=t_name,
+                        ttype=ttype,
+                        operand=operand,
+                        false_positive=bool(fp),
+                    )
+                    key = (job.transponder, src, frozenset(dst))
+                    tags_by_decision.setdefault(key, set()).add(tag)
+                    if not tag.false_positive:
+                        found_types[ttype].add(t_name)
 
         signatures = self._build_signatures(mupath_results, candidates, tags_by_decision)
         transponders = sorted({s.transponder for s in signatures})
@@ -289,6 +302,35 @@ class SynthLC:
         )
 
     # ------------------------------------------------------------ internals
+    def _work_items(self, mupath_results, transmitter_list, candidates):
+        """Enumerate the independent classification runs.
+
+        Each yielded (transponder, transmitter, assumption, operand,
+        decision_list) tuple is one unit of schedulable work; the list is
+        the engine's job granularity and the serial path's loop nest.
+        """
+        cfg = self.config
+        items = []
+        for p_name in candidates:
+            decision_list = mupath_results[p_name].decisions.decisions()
+            if not decision_list:
+                continue
+            for t_name in transmitter_list:
+                spec = isa.BY_NAME.get(t_name)
+                for assumption in cfg.assumptions:
+                    if assumption == "intrinsic" and t_name != p_name:
+                        continue
+                    for operand in cfg.operands:
+                        if spec is not None:
+                            if operand == "rs1" and not spec.reads_rs1:
+                                continue
+                            if operand == "rs2" and not spec.reads_rs2:
+                                continue
+                        items.append(
+                            (p_name, t_name, assumption, operand, decision_list)
+                        )
+        return items
+
     def _classify_one(
         self,
         p_name: str,

@@ -1,0 +1,176 @@
+"""Persistent proof cache with canonical content hashing.
+
+The paper's dominant cost is re-discharging tens of thousands of cover /
+assert properties on every run (SS VII-B3 reports multi-day JasperGold
+wall-clock).  Verdicts, however, are pure functions of four inputs: the
+elaborated netlist, the context-family configuration, the property
+template, and the engine configuration.  This module keys prior
+REACHABLE / UNREACHABLE verdicts by a canonical content hash of exactly
+those components, so re-runs answer instantly and any change to a key
+component invalidates the entry automatically (a different hash simply
+never matches).
+
+Two rules keep the cache sound:
+
+* **UNDETERMINED is never cached as final.**  A resource-limited verdict
+  may flip with a bigger budget; entries containing one are not written.
+* **Truncated context families are never cached.**  Their negative
+  verdicts are sampled, not proven (job types veto via ``value_is_final``).
+
+Layout: ``<cache_dir>/<key[:2]>/<key>.json``, written atomically
+(temp file + rename) so concurrent runs sharing a cache directory can
+only ever observe complete entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["canonical_json", "content_key", "netlist_fingerprint", "ProofCache"]
+
+CACHE_FORMAT_VERSION = 1
+
+
+# ------------------------------------------------------------ canonical hash
+def _canon_default(obj):
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError("not canonically serializable: %r" % type(obj).__name__)
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, sets sorted."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=_canon_default
+    )
+
+
+def content_key(**components) -> str:
+    """SHA-256 over the canonical JSON of the named key components."""
+    return hashlib.sha256(canonical_json(components).encode("utf-8")).hexdigest()
+
+
+def netlist_fingerprint(netlist) -> str:
+    """Canonical structural hash of an elaborated netlist.
+
+    Nodes are visited in topological (evaluation) order and renumbered
+    densely, so the hash is independent of builder-assigned uids and of
+    anything but structure: (op, width, const value, name, argument
+    positions), plus the register set (name, width, reset, next-state
+    node), primary-input order, and the named/output signal tables.
+    """
+    index: Dict[int, int] = {}
+    h = hashlib.sha256()
+    h.update(("netlist:%s\n" % netlist.name).encode("utf-8"))
+    for i, node in enumerate(netlist.order):
+        index[node.uid] = i
+        h.update(
+            (
+                "n%d:%s:%d:%s:%s:%s\n"
+                % (
+                    i,
+                    node.op,
+                    node.width,
+                    "" if node.value is None else node.value,
+                    node.name or "",
+                    ",".join(str(index[arg.uid]) for arg in node.args),
+                )
+            ).encode("utf-8")
+        )
+    for reg, next_node in netlist.registers:
+        h.update(
+            (
+                "r:%s:%d:%d:%d\n"
+                % (reg.name, reg.width, reg.reset, index[next_node.uid])
+            ).encode("utf-8")
+        )
+    h.update(
+        ("i:%s\n" % ",".join(str(index[n.uid]) for n in netlist.inputs)).encode()
+    )
+    for name in sorted(netlist.named):
+        h.update(("s:%s:%d\n" % (name, index[netlist.named[name].uid])).encode())
+    for name in sorted(netlist.outputs):
+        h.update(("o:%s:%d\n" % (name, index[netlist.outputs[name].uid])).encode())
+    return h.hexdigest()
+
+
+# -------------------------------------------------------------- on-disk store
+class ProofCache:
+    """Content-addressed verdict store under ``cache_dir``."""
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the entry for ``key``, or None (absent, corrupt, stale
+        format, or not final)."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if entry.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        if not entry.get("final"):
+            return None
+        return entry
+
+    def put(
+        self,
+        key: str,
+        job_id: str,
+        payload: Any,
+        results: list,
+        final: bool = True,
+    ) -> bool:
+        """Store a verdict entry; non-final entries are refused (the
+        UNDETERMINED rule).  Returns True when an entry was written."""
+        if not final:
+            return False
+        entry = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "job_id": job_id,
+            "created": time.time(),
+            "final": True,
+            "payload": payload,
+            "results": results,
+        }
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return True
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def entries(self) -> int:
+        """Number of stored entries (for telemetry / tests)."""
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self.cache_dir):
+            count += sum(
+                1 for f in filenames
+                if f.endswith(".json") and not f.startswith(".tmp-")
+            )
+        return count

@@ -1,0 +1,387 @@
+"""The verification job scheduler.
+
+Executes a batch of independent verification jobs -- per-IUV RTL2MuPATH
+synthesis runs, per-(transponder, transmitter, assumption, operand)
+SynthLC classification runs, or any object following the job protocol --
+across a ``ProcessPoolExecutor``, with:
+
+* **proof-cache short-circuiting**: jobs whose content key hits the
+  persistent cache replay their prior verdicts instantly (never for
+  entries containing UNDETERMINED -- those are not stored);
+* **per-job wall-clock deadlines**: a SIGALRM-based deadline inside the
+  worker aborts a stuck attempt instead of hanging the run;
+* **retry with escalated conflict budget**: attempts whose results
+  contain UNDETERMINED verdicts are retried with
+  ``job.escalated(attempt, factor)`` (for synthesis jobs this multiplies
+  the SAT conflict budget), degrading gracefully to the best attempt when
+  the budget ladder is exhausted -- the SS VII-B4 soundness/completeness
+  trade is then applied by the pipeline, exactly as for a serial run;
+* **exact accounting**: every per-property CheckResult -- fresh or
+  replayed -- folds into the caller's PropertyStats, and the telemetry
+  manifest reconciles against it (SS VII-B3).
+
+Job protocol (duck-typed; see :mod:`repro.engine.specs`):
+
+* ``job_id`` -- unique string;
+* ``execute() -> (value, results)`` -- run, returning the job value and
+  its list of :class:`~repro.mc.outcomes.CheckResult`;
+* ``escalated(attempt, factor) -> job`` -- the retry recipe;
+* ``cache_key() -> str | None`` -- content hash, or None to bypass;
+* ``encode_value(value) / decode_value(payload)`` -- JSON round-trip;
+* ``value_is_final(value) -> bool`` -- veto caching (e.g. truncated
+  context families).
+
+``jobs=1`` (or a single job) runs inline in the calling process -- no
+pool, no pickling -- which is also the deterministic reference mode the
+tests compare the parallel path against.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..mc.outcomes import UNDETERMINED
+from .cache import ProofCache
+from .telemetry import RunManifest, TelemetryLog
+
+__all__ = [
+    "EngineConfig",
+    "EngineError",
+    "JobTimeout",
+    "AttemptRecord",
+    "WorkerReport",
+    "RunOutcome",
+    "JobScheduler",
+]
+
+
+class EngineError(RuntimeError):
+    """A job failed every attempt and ``keep_going`` is off."""
+
+
+class JobTimeout(Exception):
+    """A job attempt exceeded its wall-clock deadline."""
+
+
+@dataclass
+class EngineConfig:
+    """Scheduler knobs (the CLI's ``--jobs/--cache-dir/--trace`` map here)."""
+
+    jobs: Optional[int] = None  # worker processes; None -> os.cpu_count()
+    timeout_seconds: Optional[float] = None  # per-attempt deadline
+    max_attempts: int = 3
+    escalation_factor: int = 4  # conflict-budget multiplier per retry
+    cache_dir: Optional[str] = None
+    trace_path: Optional[str] = None
+    keep_going: bool = False  # map failed jobs to None instead of raising
+
+    @property
+    def workers(self) -> int:
+        if self.jobs:
+            return self.jobs
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:
+            return os.cpu_count() or 1
+
+
+@dataclass
+class AttemptRecord:
+    """One execution attempt of one job, as observed inside the worker."""
+
+    attempt: int
+    seconds: float
+    properties: int = 0
+    undetermined: int = 0
+    timed_out: bool = False
+    error: Optional[str] = None
+
+
+@dataclass
+class WorkerReport:
+    """Everything a worker sends back about one job."""
+
+    job_id: str
+    value: Any = None
+    results: List = field(default_factory=list)
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    error: Optional[str] = None  # set only when no attempt produced a value
+
+
+@dataclass
+class RunOutcome:
+    """Results of one scheduler run, keyed by job_id, plus the manifest."""
+
+    results: Dict[str, Any]
+    manifest: RunManifest
+
+    def __getitem__(self, job_id: str) -> Any:
+        return self.results[job_id]
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise :class:`JobTimeout` if the body runs longer than ``seconds``.
+
+    SIGALRM-based: effective in worker processes and in inline mode (both
+    run jobs on the main thread).  A no-op when ``seconds`` is None or the
+    platform lacks SIGALRM.
+    """
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_job_with_retries(
+    job,
+    max_attempts: int,
+    timeout_seconds: Optional[float],
+    escalation_factor: int,
+) -> WorkerReport:
+    """Execute one job with the deadline + escalation policy.
+
+    Module-level so worker processes can unpickle it by reference.
+    """
+    report = WorkerReport(job_id=job.job_id)
+    best: Optional[Tuple[Any, List]] = None
+    last_error = None
+    for attempt in range(max(1, max_attempts)):
+        active = job if attempt == 0 else job.escalated(attempt, escalation_factor)
+        started = time.perf_counter()
+        try:
+            with _deadline(timeout_seconds):
+                value, results = active.execute()
+        except JobTimeout:
+            report.attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    seconds=time.perf_counter() - started,
+                    timed_out=True,
+                )
+            )
+            last_error = "attempt %d timed out after %gs" % (
+                attempt,
+                timeout_seconds or 0.0,
+            )
+            continue
+        except Exception:
+            trace = traceback.format_exc()
+            report.attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    seconds=time.perf_counter() - started,
+                    error=trace.strip().splitlines()[-1],
+                )
+            )
+            last_error = trace
+            continue
+        undetermined = sum(1 for r in results if r.outcome == UNDETERMINED)
+        report.attempts.append(
+            AttemptRecord(
+                attempt=attempt,
+                seconds=time.perf_counter() - started,
+                properties=len(results),
+                undetermined=undetermined,
+            )
+        )
+        best = (value, results)
+        if undetermined == 0:
+            break
+        # UNDETERMINED outcomes present: retry with an escalated budget
+        # (unless this was the last rung -- then degrade gracefully and
+        # let the pipeline's undetermined_as interpretation apply)
+    if best is None:
+        report.error = last_error or "job produced no result"
+        return report
+    report.value, report.results = best
+    return report
+
+
+class JobScheduler:
+    """Fans verification jobs across worker processes; see module docs."""
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+        self.last_manifest: Optional[RunManifest] = None
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        jobs: Sequence,
+        stats=None,
+        telemetry: Optional[TelemetryLog] = None,
+    ) -> RunOutcome:
+        """Execute ``jobs``; returns values keyed by job_id.
+
+        ``stats`` (a :class:`~repro.mc.stats.PropertyStats`) receives every
+        per-property CheckResult, fresh and replayed alike.  ``telemetry``
+        overrides the config's ``trace_path`` log.
+        """
+        cfg = self.config
+        own_log = telemetry is None
+        log = telemetry if telemetry is not None else TelemetryLog(cfg.trace_path)
+        manifest = RunManifest(workers=cfg.workers)
+        cache = ProofCache(cfg.cache_dir) if cfg.cache_dir else None
+        results_by_id: Dict[str, Any] = {}
+        started = time.perf_counter()
+        try:
+            log.event(
+                "run_start",
+                jobs=len(jobs),
+                workers=cfg.workers,
+                cache_dir=cfg.cache_dir,
+                max_attempts=cfg.max_attempts,
+                timeout_seconds=cfg.timeout_seconds,
+            )
+            pending: List[Tuple[Any, Optional[str]]] = []
+            for job in jobs:
+                manifest.jobs_total += 1
+                key = job.cache_key() if cache is not None else None
+                if key is not None:
+                    entry = cache.get(key)
+                    if entry is not None:
+                        self._replay_hit(
+                            job, key, entry, stats, manifest, log, results_by_id
+                        )
+                        continue
+                    manifest.cache_misses += 1
+                    log.event("cache_miss", job=job.job_id, key=key)
+                pending.append((job, key))
+
+            failures: List[str] = []
+            for (job, key), report in zip(pending, self._execute(pending, log)):
+                self._fold_report(
+                    job, key, report, cache, stats, manifest, log,
+                    results_by_id, failures,
+                )
+            manifest.wall_seconds = time.perf_counter() - started
+            log.event("run_finish", manifest=manifest.to_dict())
+            if failures and not cfg.keep_going:
+                raise EngineError(
+                    "%d job(s) failed:\n%s" % (len(failures), "\n".join(failures))
+                )
+        finally:
+            self.last_manifest = manifest
+            if own_log:
+                log.close()
+        return RunOutcome(results=results_by_id, manifest=manifest)
+
+    # ------------------------------------------------------------ internals
+    def _replay_hit(self, job, key, entry, stats, manifest, log, results_by_id):
+        from ..mc.outcomes import CheckResult
+
+        value = job.decode_value(entry["payload"])
+        replayed = [CheckResult.from_dict(d) for d in entry["results"]]
+        if stats is not None:
+            for result in replayed:
+                stats.record(result)
+        manifest.jobs_cached += 1
+        manifest.cache_hits += 1
+        manifest.note_results(replayed, replayed=True)
+        log.event(
+            "cache_hit",
+            job=job.job_id,
+            key=key,
+            properties=len(replayed),
+        )
+        results_by_id[job.job_id] = value
+
+    def _execute(self, pending, log) -> List[WorkerReport]:
+        cfg = self.config
+        if not pending:
+            return []
+        for job, _key in pending:
+            log.event("job_start", job=job.job_id)
+        args = (cfg.max_attempts, cfg.timeout_seconds, cfg.escalation_factor)
+        workers = min(cfg.workers, len(pending))
+        if workers <= 1:
+            return [_run_job_with_retries(job, *args) for job, _key in pending]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_job_with_retries, job, *args)
+                for job, _key in pending
+            ]
+            return [future.result() for future in futures]
+
+    def _fold_report(
+        self, job, key, report, cache, stats, manifest, log, results_by_id,
+        failures,
+    ):
+        manifest.attempts += len(report.attempts)
+        manifest.retries += max(0, len(report.attempts) - 1)
+        manifest.timeouts += sum(1 for a in report.attempts if a.timed_out)
+        for record in report.attempts:
+            log.event(
+                "job_attempt",
+                job=report.job_id,
+                attempt=record.attempt,
+                seconds=round(record.seconds, 6),
+                properties=record.properties,
+                undetermined=record.undetermined,
+                timed_out=record.timed_out,
+                error=record.error,
+            )
+        if report.error is not None:
+            manifest.jobs_failed += 1
+            log.event("job_failed", job=report.job_id, error=report.error)
+            failures.append("%s: %s" % (report.job_id, report.error))
+            results_by_id[job.job_id] = None
+            return
+        if stats is not None:
+            for result in report.results:
+                stats.record(result)
+        manifest.jobs_executed += 1
+        manifest.note_results(report.results, replayed=False)
+        histogram: Dict[str, int] = {}
+        for result in report.results:
+            histogram[result.outcome] = histogram.get(result.outcome, 0) + 1
+        log.event(
+            "job_finish",
+            job=report.job_id,
+            properties=len(report.results),
+            verdicts=histogram,
+            retries=max(0, len(report.attempts) - 1),
+            seconds=round(sum(a.seconds for a in report.attempts), 6),
+        )
+        if cache is not None and key is not None:
+            undetermined = histogram.get(UNDETERMINED, 0)
+            final = undetermined == 0 and job.value_is_final(report.value)
+            if final:
+                from .serialize import check_results_to_dicts
+
+                cache.put(
+                    key,
+                    job.job_id,
+                    job.encode_value(report.value),
+                    check_results_to_dicts(report.results),
+                    final=True,
+                )
+                manifest.cache_stores += 1
+                log.event("cache_store", job=job.job_id, key=key)
+            else:
+                manifest.cache_skipped_nonfinal += 1
+                log.event(
+                    "cache_skip_nonfinal",
+                    job=job.job_id,
+                    key=key,
+                    undetermined=undetermined,
+                )
+        results_by_id[job.job_id] = report.value

@@ -1,0 +1,451 @@
+"""Declarative, picklable job specifications.
+
+Worker processes cannot receive the live pipeline objects: reactive
+verification contexts hold driver *closures* (see
+:func:`repro.designs.harness.program_driver_factory`) and netlists are
+large shared-structure DAGs.  Jobs therefore carry **recipes** -- a design
+kind plus its build-time config, a provider kind plus its family config --
+and every worker rebuilds (and memoizes) the objects locally.  Builders
+are deterministic, so a spec names exactly one elaborated netlist and one
+context family; the parent additionally pins the netlist's canonical
+fingerprint into the spec so the proof cache can detect any divergence.
+
+Two concrete job types are defined:
+
+* :class:`SynthesisJob` -- one RTL2MuPATH ``synthesize(iuv)`` run;
+* :class:`SynthLCJob` -- one SynthLC classification run for a
+  (transponder, transmitter, assumption, operand) tuple.
+
+Both follow the scheduler's job protocol: ``job_id``, ``execute()``,
+``escalated(attempt, factor)``, ``cache_key()``, ``encode_value()`` /
+``decode_value()``, and ``value_is_final()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .cache import content_key
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DesignSpec",
+    "ProviderSpec",
+    "SynthesisJob",
+    "SynthLCJob",
+    "infer_design_spec",
+    "infer_provider_spec",
+    "synthesis_jobs_for",
+    "synthlc_jobs_for",
+]
+
+# bump when job semantics or cached payload encodings change: old proof
+# cache entries must not satisfy queries from a newer engine
+SCHEMA_VERSION = 1
+
+Params = Tuple[Tuple[str, Any], ...]
+
+
+def _params(config) -> Params:
+    """Freeze a config dataclass into a hashable, canonical key/value tuple."""
+    return tuple(sorted(asdict(config).items()))
+
+
+def _unparams(params: Params) -> Dict[str, Any]:
+    return {key: value for key, value in params}
+
+
+# --------------------------------------------------------------- design spec
+@dataclass(frozen=True)
+class DesignSpec:
+    """Recipe for one elaborated design: builder kind + build config."""
+
+    kind: str  # "core" | "cache" | "cva6_op"
+    params: Params
+
+    def build(self):
+        return _built_design(self)
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": _unparams(self.params)}
+
+
+@lru_cache(maxsize=None)
+def _built_design(spec: DesignSpec):
+    if spec.kind == "core":
+        from ..designs.core import CoreConfig, build_core
+
+        return build_core(CoreConfig(**_unparams(spec.params)))
+    if spec.kind == "cache":
+        from ..designs.cache import CacheConfig, build_cache
+
+        return build_cache(CacheConfig(**_unparams(spec.params)))
+    if spec.kind == "cva6_op":
+        from ..designs.variants import OpPackConfig, build_cva6_op
+
+        return build_cva6_op(OpPackConfig(**_unparams(spec.params)))
+    raise ValueError("unknown design kind %r" % spec.kind)
+
+
+def infer_design_spec(design) -> DesignSpec:
+    """Derive the rebuild recipe from a built design's config object."""
+    from ..designs.cache import CacheConfig, CacheDesign
+    from ..designs.core import CoreConfig
+    from ..designs.variants import OpPackConfig
+
+    config = design.config
+    if isinstance(design, CacheDesign) or isinstance(config, CacheConfig):
+        return DesignSpec(kind="cache", params=_params(config))
+    if isinstance(config, OpPackConfig):
+        return DesignSpec(kind="cva6_op", params=_params(config))
+    if isinstance(config, CoreConfig):
+        return DesignSpec(kind="core", params=_params(config))
+    raise TypeError(
+        "cannot infer a worker rebuild recipe for %r; "
+        "construct a DesignSpec explicitly" % type(design).__name__
+    )
+
+
+# ------------------------------------------------------------- provider spec
+@dataclass(frozen=True)
+class ProviderSpec:
+    """Recipe for one verification-context provider."""
+
+    kind: str  # "core" | "cache"
+    params: Params
+
+    def build(self):
+        return _built_provider(self)
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": _unparams(self.params)}
+
+
+@lru_cache(maxsize=None)
+def _built_provider(spec: ProviderSpec):
+    params = _unparams(spec.params)
+    if spec.kind == "core":
+        from ..designs.harness import ContextFamilyConfig, CoreContextProvider
+
+        family = ContextFamilyConfig(**dict(params["config"]))
+        return CoreContextProvider(xlen=params["xlen"], config=family)
+    if spec.kind == "cache":
+        from ..designs.cache import CacheConfig, CacheContextProvider
+
+        return CacheContextProvider(
+            config=CacheConfig(**dict(params["config"])),
+            horizon=params["horizon"],
+            instrumented=params["instrumented"],
+        )
+    raise ValueError("unknown provider kind %r" % spec.kind)
+
+
+def infer_provider_spec(provider) -> ProviderSpec:
+    """Derive the rebuild recipe from a live context provider."""
+    from ..designs.cache import CacheContextProvider
+    from ..designs.harness import CoreContextProvider
+
+    if isinstance(provider, CoreContextProvider):
+        params = (
+            ("config", tuple(sorted(asdict(provider.config).items()))),
+            ("xlen", provider.xlen),
+        )
+        return ProviderSpec(kind="core", params=params)
+    if isinstance(provider, CacheContextProvider):
+        params = (
+            ("config", tuple(sorted(asdict(provider.cfg).items()))),
+            ("horizon", provider.horizon),
+            ("instrumented", provider.instrumented),
+        )
+        return ProviderSpec(kind="cache", params=params)
+    raise TypeError(
+        "cannot infer a worker rebuild recipe for %r; "
+        "construct a ProviderSpec explicitly" % type(provider).__name__
+    )
+
+
+def _provider_family_params(spec: ProviderSpec) -> Dict[str, Any]:
+    """The provider params with nested config tuples expanded to dicts."""
+    out = {}
+    for key, value in spec.params:
+        if key == "config":
+            out[key] = {k: v for k, v in value}
+        else:
+            out[key] = value
+    return out
+
+
+# ------------------------------------------------------------ synthesis jobs
+@dataclass(frozen=True)
+class SynthesisJob:
+    """One RTL2MuPATH ``synthesize(iuv)`` run, rebuildable in a worker."""
+
+    iuv: str
+    design_spec: DesignSpec
+    provider_spec: ProviderSpec
+    config_params: Params  # Rtl2MuPathConfig
+    netlist_hash: str
+    duv_pls: Optional[Tuple[str, ...]] = None
+
+    @property
+    def job_id(self) -> str:
+        return "synth:%s" % self.iuv
+
+    def execute(self):
+        from ..core.rtl2mupath import Rtl2MuPath, Rtl2MuPathConfig
+        from ..mc.stats import PropertyStats
+
+        design = self.design_spec.build()
+        provider = self.provider_spec.build()
+        stats = PropertyStats(label=self.job_id)
+        tool = Rtl2MuPath(
+            design,
+            provider,
+            config=Rtl2MuPathConfig(**_unparams(self.config_params)),
+            stats=stats,
+        )
+        if self.duv_pls is not None:
+            tool._duv_pls = frozenset(self.duv_pls)
+        result = tool.synthesize(self.iuv)
+        return result, stats.results
+
+    def escalated(self, attempt: int, factor: int) -> "SynthesisJob":
+        """Retry recipe: multiply the SAT conflict budget (SS VII-B4 knob)."""
+        params = _unparams(self.config_params)
+        params["induction_conflict_budget"] = max(
+            1, int(params.get("induction_conflict_budget", 1) or 1)
+        ) * (factor ** attempt)
+        return SynthesisJob(
+            iuv=self.iuv,
+            design_spec=self.design_spec,
+            provider_spec=self.provider_spec,
+            config_params=tuple(sorted(params.items())),
+            netlist_hash=self.netlist_hash,
+            duv_pls=self.duv_pls,
+        )
+
+    def cache_key(self) -> str:
+        return content_key(
+            schema=SCHEMA_VERSION,
+            tool="rtl2mupath",
+            template="synthesize-v1",  # the SS V-B six-step property suite
+            netlist=self.netlist_hash,
+            provider=self.provider_spec.describe(),
+            config=_unparams(self.config_params),
+            iuv=self.iuv,
+            duv_pls=sorted(self.duv_pls) if self.duv_pls is not None else None,
+        )
+
+    @staticmethod
+    def encode_value(value):
+        from .serialize import mupath_result_to_dict
+
+        return mupath_result_to_dict(value)
+
+    @staticmethod
+    def decode_value(payload):
+        from .serialize import mupath_result_from_dict
+
+        return mupath_result_from_dict(payload)
+
+    @staticmethod
+    def value_is_final(value) -> bool:
+        # a truncated context family means negative verdicts were sampled,
+        # not proven: such results must be recomputed, never replayed
+        return not value.truncated
+
+
+def synthesis_jobs_for(tool, iuv_names: Sequence[str]) -> List[SynthesisJob]:
+    """Build one :class:`SynthesisJob` per IUV from a live Rtl2MuPath tool."""
+    from .cache import netlist_fingerprint
+
+    design_spec = infer_design_spec(tool.design)
+    provider_spec = infer_provider_spec(tool.provider)
+    netlist_hash = netlist_fingerprint(tool.netlist)
+    duv_pls = (
+        tuple(sorted(tool._duv_pls)) if tool._duv_pls is not None else None
+    )
+    config_params = _params(tool.config)
+    return [
+        SynthesisJob(
+            iuv=name,
+            design_spec=design_spec,
+            provider_spec=provider_spec,
+            config_params=config_params,
+            netlist_hash=netlist_hash,
+            duv_pls=duv_pls,
+        )
+        for name in iuv_names
+    ]
+
+
+# -------------------------------------------------------------- SynthLC jobs
+@dataclass(frozen=True)
+class SynthLCJob:
+    """One SynthLC classification run: (transponder, transmitter,
+    typing assumption, operand), over a fixed decision list."""
+
+    transponder: str
+    transmitter: str
+    assumption: str
+    operand: str
+    decisions: Tuple[Tuple[str, Tuple[str, ...]], ...]  # (src, sorted dst)
+    design_spec: DesignSpec
+    provider_spec: ProviderSpec
+    config_params: Params  # SynthLCConfig
+    netlist_hash: str
+    extra_persistent: Tuple[str, ...] = ()
+
+    @property
+    def job_id(self) -> str:
+        return "lc:%s:%s:%s:%s" % (
+            self.transponder,
+            self.transmitter,
+            self.assumption,
+            self.operand,
+        )
+
+    def execute(self):
+        from ..core.decisions import Decision
+        from ..mc.stats import PropertyStats
+
+        tool = _built_synthlc(
+            self.design_spec,
+            self.provider_spec,
+            self.config_params,
+            self.extra_persistent,
+        )
+        stats = PropertyStats(label=self.job_id)
+        tool.stats = stats
+        decision_list = [
+            Decision(src=src, dst=frozenset(dst)) for src, dst in self.decisions
+        ]
+        tags_by_decision: Dict = {}
+        found_types: Dict = {a: set() for a in tool.config.assumptions}
+        tool._classify_one(
+            self.transponder,
+            self.transmitter,
+            self.assumption,
+            self.operand,
+            decision_list,
+            tags_by_decision,
+            found_types,
+        )
+        value = []
+        for (_p, src, dst), tags in sorted(
+            tags_by_decision.items(), key=lambda kv: (kv[0][1], sorted(kv[0][2]))
+        ):
+            for tag in sorted(
+                tags, key=lambda t: (t.transmitter, t.ttype, t.operand)
+            ):
+                value.append(
+                    (
+                        src,
+                        tuple(sorted(dst)),
+                        tag.transmitter,
+                        tag.ttype,
+                        tag.operand,
+                        tag.false_positive,
+                    )
+                )
+        return value, stats.results
+
+    def escalated(self, attempt: int, factor: int) -> "SynthLCJob":
+        # the enumerative taint covers carry no conflict budget; a retry
+        # re-executes the identical job (UNDETERMINED here means the
+        # context family was truncated, which retrying cannot fix)
+        return self
+
+    def cache_key(self) -> str:
+        return content_key(
+            schema=SCHEMA_VERSION,
+            tool="synthlc",
+            template="decision-taint-v1",  # the SS V-C1 cover suite
+            netlist=self.netlist_hash,
+            provider=self.provider_spec.describe(),
+            config=_unparams(self.config_params),
+            transponder=self.transponder,
+            transmitter=self.transmitter,
+            assumption=self.assumption,
+            operand=self.operand,
+            decisions=[[src, list(dst)] for src, dst in self.decisions],
+            extra_persistent=sorted(self.extra_persistent),
+        )
+
+    @staticmethod
+    def encode_value(value):
+        return [
+            [src, list(dst), t, ty, op, bool(fp)]
+            for src, dst, t, ty, op, fp in value
+        ]
+
+    @staticmethod
+    def decode_value(payload):
+        return [
+            (src, tuple(dst), t, ty, op, bool(fp))
+            for src, dst, t, ty, op, fp in payload
+        ]
+
+    @staticmethod
+    def value_is_final(value) -> bool:
+        return True  # finality is decided by the UNDETERMINED scan alone
+
+
+@lru_cache(maxsize=None)
+def _built_synthlc(
+    design_spec: DesignSpec,
+    provider_spec: ProviderSpec,
+    config_params: Params,
+    extra_persistent: Tuple[str, ...],
+):
+    """Memoized per-worker SynthLC tool (IFT instrumentation is costly)."""
+    from ..core.synthlc import SynthLC, SynthLCConfig
+
+    params = _unparams(config_params)
+    params["assumptions"] = tuple(params["assumptions"])
+    params["operands"] = tuple(params["operands"])
+    return SynthLC(
+        design_spec.build(),
+        provider_spec.build(),
+        config=SynthLCConfig(**params),
+        extra_persistent=extra_persistent,
+    )
+
+
+def synthlc_jobs_for(tool, work_items) -> List[SynthLCJob]:
+    """Build one :class:`SynthLCJob` per (p, t, assumption, operand) item.
+
+    ``work_items`` yields ``(p_name, t_name, assumption, operand,
+    decision_list)`` tuples as enumerated by
+    :meth:`repro.core.synthlc.SynthLC.classify`.
+    """
+    from .cache import netlist_fingerprint
+
+    design_spec = infer_design_spec(tool.design)
+    provider_spec = infer_provider_spec(tool.provider)
+    # key on the *uninstrumented* netlist: instrumentation is a pure
+    # function of (netlist, metadata), both fixed by the design spec
+    netlist_hash = netlist_fingerprint(tool.design.netlist)
+    config_params = _params(tool.config)
+    extra = tuple(sorted(tool.extra_persistent))
+    jobs = []
+    for p_name, t_name, assumption, operand, decision_list in work_items:
+        jobs.append(
+            SynthLCJob(
+                transponder=p_name,
+                transmitter=t_name,
+                assumption=assumption,
+                operand=operand,
+                decisions=tuple(
+                    (d.src, tuple(sorted(d.dst))) for d in decision_list
+                ),
+                design_spec=design_spec,
+                provider_spec=provider_spec,
+                config_params=config_params,
+                netlist_hash=netlist_hash,
+                extra_persistent=extra,
+            )
+        )
+    return jobs

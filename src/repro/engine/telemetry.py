@@ -1,0 +1,132 @@
+"""Structured run telemetry: JSONL events plus a run manifest.
+
+Every engine run emits a stream of machine-parsable events (one JSON
+object per line) -- run start/finish, per-job submit/attempt/finish,
+cache hit/miss/store, verdict histograms, retry counts, timings -- and
+accumulates a :class:`RunManifest` whose totals fold back into
+:class:`~repro.mc.stats.PropertyStats`, so the paper's SS VII-B3 property
+accounting still holds exactly under parallel + cached execution:
+
+    properties_evaluated + properties_replayed == stats.count
+
+(assuming the stats accumulator started empty), with matching outcome
+histograms.  ``RunManifest.reconciles(stats)`` asserts precisely that.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["TelemetryLog", "RunManifest"]
+
+
+class TelemetryLog:
+    """Append-only JSONL event writer; a ``path`` of None disables output."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._handle = open(path, "a", encoding="utf-8") if path else None
+
+    def event(self, kind: str, **fields: Any):
+        if self._handle is None:
+            return
+        record = {"ts": round(time.time(), 6), "event": kind}
+        record.update(fields)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+@dataclass
+class RunManifest:
+    """Aggregate accounting for one engine run."""
+
+    jobs_total: int = 0
+    jobs_cached: int = 0
+    jobs_executed: int = 0
+    jobs_failed: int = 0
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    cache_skipped_nonfinal: int = 0
+    properties_evaluated: int = 0  # freshly checked this run
+    properties_replayed: int = 0  # replayed from the proof cache
+    outcomes: Counter = field(default_factory=Counter)
+    wall_seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def properties_total(self) -> int:
+        return self.properties_evaluated + self.properties_replayed
+
+    def note_results(self, results, replayed: bool):
+        if replayed:
+            self.properties_replayed += len(results)
+        else:
+            self.properties_evaluated += len(results)
+        self.outcomes.update(r.outcome for r in results)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs_total": self.jobs_total,
+            "jobs_cached": self.jobs_cached,
+            "jobs_executed": self.jobs_executed,
+            "jobs_failed": self.jobs_failed,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_stores": self.cache_stores,
+            "cache_skipped_nonfinal": self.cache_skipped_nonfinal,
+            "properties_evaluated": self.properties_evaluated,
+            "properties_replayed": self.properties_replayed,
+            "properties_total": self.properties_total,
+            "outcomes": dict(self.outcomes),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "workers": self.workers,
+        }
+
+    def reconciles(self, stats) -> bool:
+        """SS VII-B3 invariant against a stats accumulator this run filled."""
+        return (
+            self.properties_total == stats.count
+            and dict(self.outcomes) == stats.outcome_histogram
+        )
+
+    def summary(self) -> str:
+        return (
+            "engine run: %d jobs (%d cached, %d executed, %d failed), "
+            "%d properties (%d fresh, %d replayed), %d retries, "
+            "%d timeouts, %.2fs wall on %d worker(s)"
+            % (
+                self.jobs_total,
+                self.jobs_cached,
+                self.jobs_executed,
+                self.jobs_failed,
+                self.properties_total,
+                self.properties_evaluated,
+                self.properties_replayed,
+                self.retries,
+                self.timeouts,
+                self.wall_seconds,
+                self.workers,
+            )
+        )

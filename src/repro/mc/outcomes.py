@@ -48,3 +48,25 @@ class CheckResult:
         if self.outcome == UNDETERMINED:
             return as_outcome
         return self.outcome
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form; exact inverse of :meth:`from_dict`."""
+        return {
+            "query_name": self.query_name,
+            "outcome": self.outcome,
+            "engine": self.engine,
+            "witness": self.witness,
+            "time_seconds": self.time_seconds,
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "CheckResult":
+        return CheckResult(
+            query_name=payload["query_name"],
+            outcome=payload["outcome"],
+            engine=payload["engine"],
+            witness=payload.get("witness"),
+            time_seconds=payload.get("time_seconds", 0.0),
+            detail=payload.get("detail", ""),
+        )

@@ -50,9 +50,25 @@ class PropertyStats:
         return histogram.get("undetermined", 0) / self.count
 
     def merged(self, other: "PropertyStats") -> "PropertyStats":
-        merged = PropertyStats(label="%s+%s" % (self.label, other.label))
+        # skip empty labels so one unlabeled side does not yield "+bmc"
+        labels = [label for label in (self.label, other.label) if label]
+        merged = PropertyStats(label="+".join(labels))
         merged.results = list(self.results) + list(other.results)
         return merged
+
+    def to_dict(self) -> Dict:
+        """JSON/pickle-ready form, so worker-process stats can be shipped
+        back and merged into the parent; exact inverse of :meth:`from_dict`."""
+        return {
+            "label": self.label,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "PropertyStats":
+        stats = PropertyStats(label=payload.get("label", ""))
+        stats.results = [CheckResult.from_dict(d) for d in payload["results"]]
+        return stats
 
     def summary(self) -> str:
         return (

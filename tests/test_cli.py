@@ -14,9 +14,25 @@ class TestParser:
             ["uspec", "ADD", "LW"],
             ["table2"],
             ["sc-safe", "DIV", "arf_w1"],
+            ["synth-all"],
+            ["synth-all", "ADD", "DIV", "--jobs", "4",
+             "--cache-dir", ".repro-cache", "--trace", "run.jsonl",
+             "--timeout", "120", "--max-attempts", "2"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
+
+    def test_synth_all_defaults(self):
+        args = build_parser().parse_args(["synth-all"])
+        assert args.instrs == []
+        assert args.jobs is None
+        assert args.cache_dir is None
+        assert args.trace is None
+        assert args.max_attempts == 3
+
+    def test_synth_all_unknown_instruction_exit_code(self, capsys):
+        assert main(["synth-all", "NOPE"]) == 2
+        assert "unknown instruction" in capsys.readouterr().out
 
     def test_invalid_instruction_rejected(self):
         parser = build_parser()
