@@ -1,0 +1,112 @@
+"""Observability-overhead bench: tracing off vs on, end to end.
+
+Runs the same two-instruction ``synthesize_all`` workload through the
+serial engine path twice -- once with telemetry/tracing disabled (spans
+short-circuit to the shared ``NULL_SPAN``) and once with a full
+``--trace`` JSONL stream -- takes the min over repeats to squeeze out
+scheduler noise, asserts the traced run stays within the 10% overhead
+budget, and records the measured numbers to ``OBS_BENCH.json`` in the
+repo root.
+
+The traced run is also validated the way CI validates it: the trace
+must pass integrity checks and its span-accounted checker time must
+reconcile with ``PropertyStats.total_time``.
+"""
+
+import os
+import time
+
+from repro.core import Rtl2MuPath
+from repro.designs import ContextFamilyConfig, CoreContextProvider, build_core
+from repro.engine import EngineConfig, JobScheduler
+from repro.obs import TraceProfile
+
+from conftest import print_banner, record_bench_json
+
+FAMILY = ContextFamilyConfig(
+    horizon=24,
+    neighbors=("DIV",),
+    iuv_values=(0, 1),
+    neighbor_values=(0, 1),
+    include_deep=False,
+)
+INSTRS = ("ADD", "DIV")
+REPEATS = 3
+OVERHEAD_BUDGET = 0.10
+
+
+def _make_tool():
+    design = build_core()
+    provider = CoreContextProvider(xlen=design.config.xlen, config=FAMILY)
+    return Rtl2MuPath(design, provider)
+
+
+def _run(trace_path=None):
+    tool = _make_tool()
+    engine = JobScheduler(EngineConfig(jobs=1, trace_path=trace_path))
+    started = time.perf_counter()
+    results = tool.synthesize_all(list(INSTRS), engine=engine)
+    elapsed = time.perf_counter() - started
+    return elapsed, results, tool
+
+
+def test_tracing_overhead_under_budget(tmp_path, benchmark):
+    # warm up imports / bytecode so neither arm pays first-run costs
+    _run()
+
+    plain_s = []
+    traced_s = []
+    baseline_results = None
+    last_trace = None
+    for i in range(REPEATS):
+        elapsed, results, _tool = _run()
+        plain_s.append(elapsed)
+        if baseline_results is None:
+            baseline_results = results
+
+        trace_path = str(tmp_path / ("trace-%d.jsonl" % i))
+        elapsed, results, tool = _run(trace_path=trace_path)
+        traced_s.append(elapsed)
+        last_trace = (trace_path, tool)
+        for name in INSTRS:
+            assert results[name] == baseline_results[name], name
+
+    best_plain = min(plain_s)
+    best_traced = min(traced_s)
+    overhead = best_traced / best_plain - 1.0
+
+    # the traced run must hold the same guarantees CI checks
+    trace_path, tool = last_trace
+    profile = TraceProfile.load(trace_path)
+    assert profile.ok, profile.errors
+    assert profile.reconciles_total_time(tool.stats.total_time)
+
+    print_banner("OBSERVABILITY OVERHEAD (tracing off vs on)")
+    print("workload        : synth-all %s (serial engine, min of %d)"
+          % ("+".join(INSTRS), REPEATS))
+    print("tracing off     : %.4f s" % best_plain)
+    print("tracing on      : %.4f s" % best_traced)
+    print("overhead        : %+.2f%%  (budget %.0f%%)"
+          % (overhead * 100.0, OVERHEAD_BUDGET * 100.0))
+    print("trace spans     : %d (integrity ok, reconciles total_time)"
+          % len(profile.spans))
+
+    record_bench_json(
+        "OBS_BENCH.json",
+        {
+            "workload": "synthesize_all %s, serial engine" % (INSTRS,),
+            "repeats": REPEATS,
+            "cpu_count": os.cpu_count(),
+            "tracing_off_s": round(best_plain, 6),
+            "tracing_on_s": round(best_traced, 6),
+            "overhead_fraction": round(overhead, 6),
+            "overhead_budget": OVERHEAD_BUDGET,
+            "trace_spans": len(profile.spans),
+            "trace_ok": profile.ok,
+        },
+    )
+
+    assert overhead < OVERHEAD_BUDGET, (
+        "tracing overhead %.2f%% exceeds the %.0f%% budget"
+        % (overhead * 100.0, OVERHEAD_BUDGET * 100.0)
+    )

@@ -23,7 +23,21 @@ Commands:
     accounting;
   * ``--timeout SECONDS`` / ``--max-attempts N`` -- per-job wall-clock
     deadline and the retry-with-escalated-conflict-budget ladder for
-    UNDETERMINED outcomes.
+    UNDETERMINED outcomes;
+  * ``--metrics FILE`` -- dump the process metrics registry (Prometheus
+    text exposition) at run end; ``--metrics-port N`` serves the same
+    registry live on ``127.0.0.1:N/metrics`` for the run's duration.
+
+* ``profile TRACE`` -- analyze a ``--trace`` JSONL file: per-phase and
+  per-instruction time breakdowns, hotspot ranking, and the checker-time
+  reconciliation against the run's property statistics.  Flags:
+
+  * ``--top N`` -- hotspot count (default 10);
+  * ``--export-chrome-trace FILE`` -- write a Chrome-tracing / Perfetto
+    JSON rendering of the span tree (opens in ``ui.perfetto.dev``);
+  * ``--check`` -- exit non-zero if the trace is malformed (unbalanced
+    or mis-nested spans, events without timestamps) or the checker-time
+    reconciliation fails; used by CI.
 
 The CLI is a thin veneer over the library; see ``examples/`` for richer
 workflows.
@@ -118,6 +132,7 @@ def cmd_sc_safe(args):
 
 def cmd_synth_all(args):
     from .engine import EngineConfig, EngineError, JobScheduler
+    from .obs import get_registry, start_metrics_server
 
     names = list(args.instrs) or sorted(set(CLASS_REPRESENTATIVES.values()))
     known = {s.name for s in isa.INSTRUCTIONS}
@@ -125,6 +140,13 @@ def cmd_synth_all(args):
     if unknown:
         print("unknown instruction(s): %s" % ", ".join(unknown))
         return 2
+    server = None
+    if args.metrics_port is not None:
+        server = start_metrics_server(args.metrics_port)
+        print(
+            "serving metrics on http://127.0.0.1:%d/metrics"
+            % server.server_address[1]
+        )
     design = build_core()
     tool = Rtl2MuPath(design, _default_provider(design.config.xlen))
     engine = JobScheduler(
@@ -147,6 +169,12 @@ def cmd_synth_all(args):
     except OSError as exc:
         print("error: %s" % exc)
         return 1
+    finally:
+        if args.metrics:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(get_registry().to_prometheus())
+        if server is not None:
+            server.shutdown()
     for name in names:
         result = results[name]
         print(
@@ -166,6 +194,35 @@ def cmd_synth_all(args):
     if not manifest.reconciles(tool.stats):
         print("WARNING: telemetry manifest does not reconcile with stats")
         return 1
+    return 0
+
+
+def cmd_profile(args):
+    import json
+
+    from .obs import TraceProfile
+    from .report import render_profile
+
+    try:
+        profile = TraceProfile.load(args.trace)
+    except OSError as exc:
+        print("error: %s" % exc)
+        return 1
+    sys.stdout.write(render_profile(profile, top=args.top))
+    if args.export_chrome_trace:
+        with open(args.export_chrome_trace, "w", encoding="utf-8") as handle:
+            json.dump(profile.to_chrome_trace(), handle)
+        print("chrome trace written to %s" % args.export_chrome_trace)
+    if args.check:
+        if not profile.ok:
+            print("trace FAILED integrity checks (%d errors)"
+                  % len(profile.errors))
+            return 1
+        stats = profile.stats
+        if stats and isinstance(stats.get("total_time"), (int, float)):
+            if not profile.reconciles_total_time(float(stats["total_time"])):
+                print("trace FAILED checker-time reconciliation")
+                return 1
     return 0
 
 
@@ -216,7 +273,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job wall-clock deadline in seconds")
     p.add_argument("--max-attempts", type=int, default=3,
                    help="attempts per job (retries escalate conflict budget)")
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="dump Prometheus text-format metrics at run end")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="N",
+                   help="serve /metrics on 127.0.0.1:N during the run "
+                        "(0 = ephemeral port)")
     p.set_defaults(func=cmd_synth_all)
+
+    p = sub.add_parser(
+        "profile",
+        help="analyze a --trace JSONL file (phases, hotspots, reconciliation)",
+    )
+    p.add_argument("trace", help="path to the JSONL trace")
+    p.add_argument("--top", type=int, default=10,
+                   help="hotspot spans to show (default 10)")
+    p.add_argument("--export-chrome-trace", default=None, metavar="FILE",
+                   help="write Chrome-tracing / Perfetto JSON to FILE")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 if the trace is malformed or does not "
+                        "reconcile")
+    p.set_defaults(func=cmd_profile)
     return parser
 
 

@@ -38,6 +38,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..mc.enumerative import TraceDB
 from ..mc.kinduction import prove_unreachable_kinduction
 from ..mc.outcomes import REACHABLE, UNDETERMINED, UNREACHABLE, CheckResult
@@ -147,16 +148,20 @@ class Rtl2MuPath:
 
     # ------------------------------------------------------------ accounting
     def _record(self, name: str, outcome: str, started: float, detail: str = "",
-                engine="enumerative-indexed"):
+                engine="enumerative-indexed", depth=None, solver=None):
+        elapsed = time.perf_counter() - started
         self.stats.record(
             CheckResult(
                 query_name=name,
                 outcome=outcome,
                 engine=engine,
-                time_seconds=time.perf_counter() - started,
+                time_seconds=elapsed,
                 detail=detail,
+                depth=depth,
+                solver=solver,
             )
         )
+        obs.note_property(outcome, elapsed)
 
     def _cover_outcome(self, hit: bool, complete: bool) -> str:
         if hit:
@@ -174,219 +179,239 @@ class Rtl2MuPath:
         """Prune PLs unreachable by any instruction (run once per DUV)."""
         if self._duv_pls is not None:
             return self._duv_pls
-        reachable: Set[str] = set()
-        groups = []
-        for name in representative_iuvs:
-            groups.extend(self.provider.mupath_groups(name))
-        tracedbs = [TraceDB(self.netlist, g.contexts, g.complete) for g in groups]
+        with obs.span("rtl2mupath.duv_pl_reachability"):
+            reachable: Set[str] = set()
+            with obs.span("phase.elaborate"):
+                groups = []
+                for name in representative_iuvs:
+                    groups.extend(self.provider.mupath_groups(name))
+                tracedbs = [
+                    TraceDB(self.netlist, g.contexts, g.complete) for g in groups
+                ]
 
-        for pl_name, pl in self.metadata.pls.items():
-            started = time.perf_counter()
-            hit = any(
-                any(view.bit(slot.occ_signal, t) for slot in pl.slots)
-                for db in tracedbs
-                for view in db.views
-                for t in range(view.horizon)
-            )
-            outcome = self._cover_outcome(hit, all(db.complete for db in tracedbs))
-            self._record("duvpl_reach_%s" % pl_name, outcome, started)
-            if self._resolve(outcome) == REACHABLE or hit:
-                reachable.add(pl_name)
+            with obs.span("phase.cover.duv_pls"):
+                for pl_name, pl in self.metadata.pls.items():
+                    started = time.perf_counter()
+                    hit = any(
+                        any(view.bit(slot.occ_signal, t) for slot in pl.slots)
+                        for db in tracedbs
+                        for view in db.views
+                        for t in range(view.horizon)
+                    )
+                    outcome = self._cover_outcome(
+                        hit, all(db.complete for db in tracedbs)
+                    )
+                    self._record("duvpl_reach_%s" % pl_name, outcome, started)
+                    if self._resolve(outcome) == REACHABLE or hit:
+                        reachable.add(pl_name)
 
-        # invalid vars valuations: discharge with unbounded induction proofs
-        for pl_name, pl in self.metadata.candidate_pls.items():
-            started = time.perf_counter()
-            if self.config.prove_invalid_pls_by_induction:
-                result = prove_unreachable_kinduction(
-                    self.netlist,
-                    pl.occupied(),
-                    k=self.config.induction_k,
-                    conflict_budget=self.config.induction_conflict_budget,
-                )
-                self._record(
-                    "duvpl_reach_%s" % pl_name,
-                    result.outcome,
-                    started,
-                    detail=result.detail,
-                    engine="k-induction",
-                )
-                if result.outcome == REACHABLE:
-                    reachable.add(pl_name)
-            else:
-                hit = any(
-                    any(view.bit(slot.occ_signal, t) for slot in pl.slots)
-                    for db in tracedbs
-                    for view in db.views
-                    for t in range(view.horizon)
-                )
-                outcome = self._cover_outcome(hit, False)
-                self._record("duvpl_reach_%s" % pl_name, outcome, started)
-                if hit:
-                    reachable.add(pl_name)
-        self._duv_pls = frozenset(reachable)
-        return self._duv_pls
+            # invalid vars valuations: discharge with unbounded induction proofs
+            with obs.span("phase.induction"):
+                for pl_name, pl in self.metadata.candidate_pls.items():
+                    started = time.perf_counter()
+                    if self.config.prove_invalid_pls_by_induction:
+                        result = prove_unreachable_kinduction(
+                            self.netlist,
+                            pl.occupied(),
+                            k=self.config.induction_k,
+                            conflict_budget=self.config.induction_conflict_budget,
+                        )
+                        self._record(
+                            "duvpl_reach_%s" % pl_name,
+                            result.outcome,
+                            started,
+                            detail=result.detail,
+                            engine="k-induction",
+                            depth=result.depth,
+                            solver=result.solver,
+                        )
+                        if result.outcome == REACHABLE:
+                            reachable.add(pl_name)
+                    else:
+                        hit = any(
+                            any(view.bit(slot.occ_signal, t) for slot in pl.slots)
+                            for db in tracedbs
+                            for view in db.views
+                            for t in range(view.horizon)
+                        )
+                        outcome = self._cover_outcome(hit, False)
+                        self._record("duvpl_reach_%s" % pl_name, outcome, started)
+                        if hit:
+                            reachable.add(pl_name)
+            self._duv_pls = frozenset(reachable)
+            return self._duv_pls
 
     # --------------------------------------------------------- main synthesis
     def synthesize(self, iuv_name: str) -> MuPathResult:
+        with obs.span("rtl2mupath.synthesize", iuv=iuv_name):
+            return self._synthesize(iuv_name)
+
+    def _synthesize(self, iuv_name: str) -> MuPathResult:
         cfg = self.config
-        groups = self.provider.mupath_groups(iuv_name)
-        indexes: List[VisitIndex] = []
-        truncated = False
-        for group in groups:
-            db = TraceDB(self.netlist, group.contexts, group.complete)
-            index = VisitIndex(db, self.metadata, group.iuv_pc)
-            indexes.append(index)
-            truncated = truncated or not group.complete
-        all_paths = [path for index in indexes for path in index.paths]
+        with obs.span("phase.elaborate"):
+            groups = self.provider.mupath_groups(iuv_name)
+            indexes: List[VisitIndex] = []
+            truncated = False
+            for group in groups:
+                db = TraceDB(self.netlist, group.contexts, group.complete)
+                index = VisitIndex(db, self.metadata, group.iuv_pc)
+                indexes.append(index)
+                truncated = truncated or not group.complete
+            all_paths = [path for index in indexes for path in index.paths]
         complete = not truncated
 
         # ---- step 2: IUV PL reachability
-        duv_pls = self._duv_pls or frozenset(self.metadata.pls)
-        iuv_pls: Set[str] = set()
-        for pl_name in sorted(duv_pls & set(self.metadata.pls)):
-            started = time.perf_counter()
-            hit = any(pl_name in path.pl_set for path in all_paths)
-            outcome = self._cover_outcome(hit, complete)
-            self._record("iuvpl_%s_%s" % (iuv_name, pl_name), outcome, started)
-            if hit:
-                iuv_pls.add(pl_name)
-        iuv_pl_list = sorted(iuv_pls)
+        with obs.span("phase.cover.iuv_pls"):
+            duv_pls = self._duv_pls or frozenset(self.metadata.pls)
+            iuv_pls: Set[str] = set()
+            for pl_name in sorted(duv_pls & set(self.metadata.pls)):
+                started = time.perf_counter()
+                hit = any(pl_name in path.pl_set for path in all_paths)
+                outcome = self._cover_outcome(hit, complete)
+                self._record("iuvpl_%s_%s" % (iuv_name, pl_name), outcome, started)
+                if hit:
+                    iuv_pls.add(pl_name)
+            iuv_pl_list = sorted(iuv_pls)
 
         # ---- step 3: dominates / exclusive pruning
-        dominates: Set[Tuple[str, str]] = set()
-        for pl0 in iuv_pl_list:
-            for pl1 in iuv_pl_list:
-                if pl0 == pl1:
-                    continue
-                started = time.perf_counter()
-                # cover(!pl0_visited & pl1_visited): unreachable => dominates
-                hit = any(
-                    pl1 in path.pl_set and pl0 not in path.pl_set
-                    for path in all_paths
-                )
-                outcome = self._cover_outcome(hit, complete)
-                self._record("dom_%s_%s_%s" % (iuv_name, pl0, pl1), outcome, started)
-                if self._resolve(outcome) == UNREACHABLE:
-                    dominates.add((pl0, pl1))
-        exclusive: Set[FrozenSet[str]] = set()
-        for i, pl0 in enumerate(iuv_pl_list):
-            for pl1 in iuv_pl_list[i + 1 :]:
-                started = time.perf_counter()
-                hit = any(
-                    pl0 in path.pl_set and pl1 in path.pl_set for path in all_paths
-                )
-                outcome = self._cover_outcome(hit, complete)
-                self._record("excl_%s_%s_%s" % (iuv_name, pl0, pl1), outcome, started)
-                if self._resolve(outcome) == UNREACHABLE:
-                    exclusive.add(frozenset((pl0, pl1)))
-
-        # ---- step 4: candidate enumeration + PL-set reachability
-        candidates = self._enumerate_candidates(iuv_pl_list, dominates, exclusive)
-        observed: Counter = Counter()
-        for index in indexes:
-            observed.update(index.observed_sets())
-        observed.pop(frozenset(), None)
-
-        reachable_sets: List[FrozenSet[str]] = []
-        for cand in candidates:
-            started = time.perf_counter()
-            hit = cand in observed
-            outcome = self._cover_outcome(hit, complete)
-            self._record(
-                "plset_%s_{%s}" % (iuv_name, ",".join(sorted(cand))), outcome, started
-            )
-            if hit:
-                reachable_sets.append(cand)
-        # any observed set must have survived pruning (sanity of the relations)
-        for seen in observed:
-            if seen not in candidates:
-                reachable_sets.append(seen)
-
-        # ---- steps 4b/5/6 per reachable set
-        conn = self._pl_connectivity()
-        upaths: List[UPathSummary] = []
-        global_run_lengths: Dict[str, Set[int]] = {}
-        paths_by_set: Dict[FrozenSet[str], List[CycleAccuratePath]] = {}
-        for path in all_paths:
-            if path.pl_set:
-                paths_by_set.setdefault(path.pl_set, []).append(path)
-        for pl_set in sorted(reachable_sets, key=sorted):
-            set_paths = paths_by_set.get(pl_set, [])
-            revisit: Dict[str, str] = {}
-            run_lengths: Dict[str, FrozenSet[int]] = {}
-            for pl in sorted(pl_set):
-                started = time.perf_counter()
-                consec = any(p.revisit_kind(pl) in ("consecutive", "both") for p in set_paths)
-                self._record(
-                    "revisit_c_%s_%s" % (iuv_name, pl),
-                    self._cover_outcome(consec, complete),
-                    started,
-                )
-                started = time.perf_counter()
-                nonconsec = any(
-                    p.revisit_kind(pl) in ("nonconsecutive", "both") for p in set_paths
-                )
-                self._record(
-                    "revisit_n_%s_%s" % (iuv_name, pl),
-                    self._cover_outcome(nonconsec, complete),
-                    started,
-                )
-                if consec and nonconsec:
-                    revisit[pl] = "both"
-                elif consec:
-                    revisit[pl] = "consecutive"
-                elif nonconsec:
-                    revisit[pl] = "nonconsecutive"
-                else:
-                    revisit[pl] = "none"
-                if cfg.collect_run_lengths:
-                    lengths = set()
-                    for p in set_paths:
-                        lengths.update(p.run_lengths(pl))
-                    for length in sorted(lengths):
-                        started = time.perf_counter()
-                        self._record(
-                            "runlen_%s_%s_%d" % (iuv_name, pl, length),
-                            REACHABLE,
-                            started,
-                        )
-                    run_lengths[pl] = frozenset(lengths)
-                    global_run_lengths.setdefault(pl, set()).update(lengths)
-
-            hb_edges: Set[Tuple[str, str]] = set()
-            for pl0 in sorted(pl_set):
-                for pl1 in sorted(pl_set):
-                    if pl1 not in conn.get(pl0, ()):
-                        continue  # not combinationally connected: no candidate
+        with obs.span("phase.cover.pruning"):
+            dominates: Set[Tuple[str, str]] = set()
+            for pl0 in iuv_pl_list:
+                for pl1 in iuv_pl_list:
+                    if pl0 == pl1:
+                        continue
                     started = time.perf_counter()
+                    # cover(!pl0_visited & pl1_visited): unreachable => dominates
                     hit = any(
-                        self._has_edge(p, pl0, pl1) for p in set_paths
+                        pl1 in path.pl_set and pl0 not in path.pl_set
+                        for path in all_paths
                     )
                     outcome = self._cover_outcome(hit, complete)
-                    self._record(
-                        "hbedge_%s_%s_%s" % (iuv_name, pl0, pl1), outcome, started
+                    self._record("dom_%s_%s_%s" % (iuv_name, pl0, pl1), outcome, started)
+                    if self._resolve(outcome) == UNREACHABLE:
+                        dominates.add((pl0, pl1))
+            exclusive: Set[FrozenSet[str]] = set()
+            for i, pl0 in enumerate(iuv_pl_list):
+                for pl1 in iuv_pl_list[i + 1 :]:
+                    started = time.perf_counter()
+                    hit = any(
+                        pl0 in path.pl_set and pl1 in path.pl_set for path in all_paths
                     )
-                    if hit:
-                        hb_edges.add((pl0, pl1))
+                    outcome = self._cover_outcome(hit, complete)
+                    self._record("excl_%s_%s_%s" % (iuv_name, pl0, pl1), outcome, started)
+                    if self._resolve(outcome) == UNREACHABLE:
+                        exclusive.add(frozenset((pl0, pl1)))
 
-            upaths.append(
-                UPathSummary(
-                    pl_set=pl_set,
-                    revisit=revisit,
-                    hb_edges=frozenset(hb_edges),
-                    run_lengths=run_lengths,
-                    example=set_paths[0] if set_paths else None,
+        # ---- step 4: candidate enumeration + PL-set reachability
+        with obs.span("phase.cover.plsets"):
+            candidates = self._enumerate_candidates(iuv_pl_list, dominates, exclusive)
+            observed: Counter = Counter()
+            for index in indexes:
+                observed.update(index.observed_sets())
+            observed.pop(frozenset(), None)
+
+            reachable_sets: List[FrozenSet[str]] = []
+            for cand in candidates:
+                started = time.perf_counter()
+                hit = cand in observed
+                outcome = self._cover_outcome(hit, complete)
+                self._record(
+                    "plset_%s_{%s}" % (iuv_name, ",".join(sorted(cand))), outcome, started
                 )
-            )
+                if hit:
+                    reachable_sets.append(cand)
+            # any observed set must have survived pruning (sanity of the relations)
+            for seen in observed:
+                if seen not in candidates:
+                    reachable_sets.append(seen)
+
+        # ---- steps 4b/5/6 per reachable set
+        with obs.span("phase.cover.structure"):
+            conn = self._pl_connectivity()
+            upaths: List[UPathSummary] = []
+            global_run_lengths: Dict[str, Set[int]] = {}
+            paths_by_set: Dict[FrozenSet[str], List[CycleAccuratePath]] = {}
+            for path in all_paths:
+                if path.pl_set:
+                    paths_by_set.setdefault(path.pl_set, []).append(path)
+            for pl_set in sorted(reachable_sets, key=sorted):
+                set_paths = paths_by_set.get(pl_set, [])
+                revisit: Dict[str, str] = {}
+                run_lengths: Dict[str, FrozenSet[int]] = {}
+                for pl in sorted(pl_set):
+                    started = time.perf_counter()
+                    consec = any(p.revisit_kind(pl) in ("consecutive", "both") for p in set_paths)
+                    self._record(
+                        "revisit_c_%s_%s" % (iuv_name, pl),
+                        self._cover_outcome(consec, complete),
+                        started,
+                    )
+                    started = time.perf_counter()
+                    nonconsec = any(
+                        p.revisit_kind(pl) in ("nonconsecutive", "both") for p in set_paths
+                    )
+                    self._record(
+                        "revisit_n_%s_%s" % (iuv_name, pl),
+                        self._cover_outcome(nonconsec, complete),
+                        started,
+                    )
+                    if consec and nonconsec:
+                        revisit[pl] = "both"
+                    elif consec:
+                        revisit[pl] = "consecutive"
+                    elif nonconsec:
+                        revisit[pl] = "nonconsecutive"
+                    else:
+                        revisit[pl] = "none"
+                    if cfg.collect_run_lengths:
+                        lengths = set()
+                        for p in set_paths:
+                            lengths.update(p.run_lengths(pl))
+                        for length in sorted(lengths):
+                            started = time.perf_counter()
+                            self._record(
+                                "runlen_%s_%s_%d" % (iuv_name, pl, length),
+                                REACHABLE,
+                                started,
+                            )
+                        run_lengths[pl] = frozenset(lengths)
+                        global_run_lengths.setdefault(pl, set()).update(lengths)
+
+                hb_edges: Set[Tuple[str, str]] = set()
+                for pl0 in sorted(pl_set):
+                    for pl1 in sorted(pl_set):
+                        if pl1 not in conn.get(pl0, ()):
+                            continue  # not combinationally connected: no candidate
+                        started = time.perf_counter()
+                        hit = any(
+                            self._has_edge(p, pl0, pl1) for p in set_paths
+                        )
+                        outcome = self._cover_outcome(hit, complete)
+                        self._record(
+                            "hbedge_%s_%s_%s" % (iuv_name, pl0, pl1), outcome, started
+                        )
+                        if hit:
+                            hb_edges.add((pl0, pl1))
+
+                upaths.append(
+                    UPathSummary(
+                        pl_set=pl_set,
+                        revisit=revisit,
+                        hb_edges=frozenset(hb_edges),
+                        run_lengths=run_lengths,
+                        example=set_paths[0] if set_paths else None,
+                    )
+                )
 
         # concrete cycle-accurate uPATHs (deduplicated)
-        unique_paths: Dict[Tuple, CycleAccuratePath] = {}
-        for path in all_paths:
-            if path.pl_set:
-                unique_paths.setdefault(path.visits, path)
-        concrete = sorted(unique_paths.values(), key=lambda p: (p.latency, sorted(p.pl_set)))
+        with obs.span("phase.decisions"):
+            unique_paths: Dict[Tuple, CycleAccuratePath] = {}
+            for path in all_paths:
+                if path.pl_set:
+                    unique_paths.setdefault(path.visits, path)
+            concrete = sorted(unique_paths.values(), key=lambda p: (p.latency, sorted(p.pl_set)))
 
-        decisions = extract_decisions(iuv_name, concrete)
+            decisions = extract_decisions(iuv_name, concrete)
         return MuPathResult(
             iuv=iuv_name,
             iuv_pls=frozenset(iuv_pls),

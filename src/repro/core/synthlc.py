@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..designs import isa
 from ..ift.cellift import IftConfig, instrument_ift
 from ..mc.enumerative import TraceDB
@@ -230,7 +231,8 @@ class SynthLC:
         self.config = config or SynthLCConfig()
         self.stats = stats if stats is not None else PropertyStats(label="synthlc")
         self.extra_persistent = tuple(extra_persistent)
-        self.ift = instrument_design(design, extra_persistent=extra_persistent)
+        with obs.span("phase.ift"):
+            self.ift = instrument_design(design, extra_persistent=extra_persistent)
 
     # ------------------------------------------------------------------ main
     def classify(
@@ -341,53 +343,78 @@ class SynthLC:
         tags_by_decision,
         found_types,
     ):
+        with obs.span(
+            "synthlc.classify_one",
+            transponder=p_name,
+            transmitter=t_name,
+            assumption=assumption,
+            operand=operand,
+        ):
+            self._classify_one_inner(
+                p_name, t_name, assumption, operand, decision_list,
+                tags_by_decision, found_types,
+            )
+
+    def _classify_one_inner(
+        self,
+        p_name: str,
+        t_name: str,
+        assumption: str,
+        operand: str,
+        decision_list: List[Decision],
+        tags_by_decision,
+        found_types,
+    ):
         groups = self.provider.taint_groups(p_name, t_name, assumption, operand)
         for group in groups:
-            db = TraceDB(self.ift.netlist, group.contexts, group.complete)
-            # one transmitter PC per group: encoded in the driver's TaintSpec;
-            # recover it from the first context's label-free structure is
-            # brittle, so providers put it in group via slot convention:
-            t_pc = getattr(group, "taint_pc", None)
-            if t_pc is None:
-                # transmitter occupies the non-IUV slot in two-slot programs
-                t_pc = group.iuv_pc - 4 if assumption != "dynamic_younger" else group.iuv_pc + 4
-                if assumption == "intrinsic":
-                    t_pc = group.iuv_pc
-            tindex = _TaintIndex(db, self.metadata, group.iuv_pc, t_pc)
+            with obs.span("phase.elaborate"):
+                db = TraceDB(self.ift.netlist, group.contexts, group.complete)
+                # one transmitter PC per group: encoded in the driver's
+                # TaintSpec; recovering it from the first context's label-free
+                # structure is brittle, so providers put it in group via slot
+                # convention:
+                t_pc = getattr(group, "taint_pc", None)
+                if t_pc is None:
+                    # transmitter occupies the non-IUV slot in two-slot programs
+                    t_pc = group.iuv_pc - 4 if assumption != "dynamic_younger" else group.iuv_pc + 4
+                    if assumption == "intrinsic":
+                        t_pc = group.iuv_pc
+                tindex = _TaintIndex(db, self.metadata, group.iuv_pc, t_pc)
             dynamic = assumption in ("dynamic_older", "dynamic_younger")
-            for decision in decision_list:
-                started = time.perf_counter()
-                hit = self._decision_taint_cover(tindex, decision, dynamic)
-                outcome = (
-                    REACHABLE
-                    if hit
-                    else (UNREACHABLE if tindex.complete else UNDETERMINED)
-                )
-                self._record(
-                    "taint_%s_%s_%s_%s_%s"
-                    % (p_name, t_name, assumption, operand, decision.src),
-                    outcome,
-                    started,
-                )
-                if outcome == UNDETERMINED:
-                    outcome = self.config.undetermined_as
-                if outcome != REACHABLE:
-                    continue
-                false_positive = False
-                if self.config.differential_check:
-                    false_positive = not self._differential_varies(
-                        db, tindex, decision, assumption
+            with obs.span("phase.cover.taint"):
+                for decision in decision_list:
+                    started = time.perf_counter()
+                    hit = self._decision_taint_cover(tindex, decision, dynamic)
+                    outcome = (
+                        REACHABLE
+                        if hit
+                        else (UNREACHABLE if tindex.complete else UNDETERMINED)
                     )
-                tag = TransmitterTag(
-                    transmitter=t_name,
-                    ttype=assumption,
-                    operand=operand,
-                    false_positive=false_positive,
-                )
-                key = (p_name, decision.src, decision.dst)
-                tags_by_decision.setdefault(key, set()).add(tag)
-                if not false_positive:
-                    found_types[assumption].add(t_name)
+                    self._record(
+                        "taint_%s_%s_%s_%s_%s"
+                        % (p_name, t_name, assumption, operand, decision.src),
+                        outcome,
+                        started,
+                    )
+                    if outcome == UNDETERMINED:
+                        outcome = self.config.undetermined_as
+                    if outcome != REACHABLE:
+                        continue
+                    false_positive = False
+                    if self.config.differential_check:
+                        false_positive = not self._differential_varies(
+                            db, tindex, decision, assumption
+                        )
+                    tag = TransmitterTag(
+                        transmitter=t_name,
+                        ttype=assumption,
+                        operand=operand,
+                        false_positive=false_positive,
+                    )
+                    key = (p_name, decision.src, decision.dst)
+                    tags_by_decision.setdefault(key, set()).add(tag)
+                    if not false_positive:
+                        found_types[assumption].add(t_name)
 
     @staticmethod
     def _decision_taint_cover(tindex: _TaintIndex, decision: Decision, dynamic: bool) -> bool:
@@ -485,11 +512,13 @@ class SynthLC:
         return signatures
 
     def _record(self, name, outcome, started):
+        elapsed = time.perf_counter() - started
         self.stats.record(
             CheckResult(
                 query_name=name,
                 outcome=outcome,
                 engine="enumerative-indexed",
-                time_seconds=time.perf_counter() - started,
+                time_seconds=elapsed,
             )
         )
+        obs.note_property(outcome, elapsed)

@@ -47,7 +47,10 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..mc.outcomes import UNDETERMINED
+from ..obs.metrics import REGISTRY
+from ..obs.tracer import SpanCollector, Tracer, replay_into
 from .cache import ProofCache
 from .telemetry import RunManifest, TelemetryLog
 
@@ -60,6 +63,20 @@ __all__ = [
     "RunOutcome",
     "JobScheduler",
 ]
+
+
+# parent-side run metrics: worker-process registries die with the worker,
+# so the scheduler accounts jobs/properties from the folded reports
+_ENGINE_JOBS = REGISTRY.counter(
+    "repro_engine_jobs_total", "scheduler jobs, by disposition"
+)
+_ENGINE_PROPERTIES = REGISTRY.counter(
+    "repro_engine_properties_total",
+    "per-property results folded by the scheduler, by source",
+)
+_ENGINE_RUN_SECONDS = REGISTRY.histogram(
+    "repro_engine_run_seconds", "scheduler run wall-clock seconds"
+)
 
 
 class EngineError(RuntimeError):
@@ -113,6 +130,7 @@ class WorkerReport:
     results: List = field(default_factory=list)
     attempts: List[AttemptRecord] = field(default_factory=list)
     error: Optional[str] = None  # set only when no attempt produced a value
+    spans: List = field(default_factory=list)  # collected (kind, fields) events
 
 
 @dataclass
@@ -155,20 +173,52 @@ def _run_job_with_retries(
     max_attempts: int,
     timeout_seconds: Optional[float],
     escalation_factor: int,
+    collect_spans: bool = False,
 ) -> WorkerReport:
     """Execute one job with the deadline + escalation policy.
 
     Module-level so worker processes can unpickle it by reference.
+
+    With ``collect_spans`` a fresh collector tracer is activated around
+    the attempts, so every span the job's pipeline opens (phases, solver
+    checks, property accounting) is recorded in memory and shipped back
+    in the report for the parent to replay into its run trace.  The
+    inline (jobs=1) path uses the identical mechanism, which is what
+    makes serial and parallel runs produce the same span set.
     """
     report = WorkerReport(job_id=job.job_id)
+    collector = tracer = None
+    if collect_spans:
+        collector = SpanCollector()
+        tracer = Tracer(sink=collector)
+        obs.activate(tracer)
+    try:
+        _attempt_loop(
+            job, report, max_attempts, timeout_seconds, escalation_factor
+        )
+    finally:
+        if tracer is not None:
+            obs.deactivate(tracer)
+            report.spans = collector.records
+    return report
+
+
+def _attempt_loop(
+    job,
+    report: WorkerReport,
+    max_attempts: int,
+    timeout_seconds: Optional[float],
+    escalation_factor: int,
+) -> None:
     best: Optional[Tuple[Any, List]] = None
     last_error = None
     for attempt in range(max(1, max_attempts)):
         active = job if attempt == 0 else job.escalated(attempt, escalation_factor)
         started = time.perf_counter()
         try:
-            with _deadline(timeout_seconds):
-                value, results = active.execute()
+            with obs.span("job.attempt", job=job.job_id, attempt=attempt):
+                with _deadline(timeout_seconds):
+                    value, results = active.execute()
         except JobTimeout:
             report.attempts.append(
                 AttemptRecord(
@@ -210,9 +260,8 @@ def _run_job_with_retries(
         # let the pipeline's undetermined_as interpretation apply)
     if best is None:
         report.error = last_error or "job produced no result"
-        return report
+        return
     report.value, report.results = best
-    return report
 
 
 class JobScheduler:
@@ -242,6 +291,14 @@ class JobScheduler:
         cache = ProofCache(cfg.cache_dir) if cfg.cache_dir else None
         results_by_id: Dict[str, Any] = {}
         started = time.perf_counter()
+        run_tracer = run_span_ctx = run_span = None
+        if log.enabled:
+            run_tracer = Tracer(sink=log.event)
+            obs.activate(run_tracer)
+            run_span_ctx = run_tracer.span(
+                "engine.run", jobs=len(jobs), workers=cfg.workers
+            )
+            run_span = run_span_ctx.__enter__()
         try:
             log.event(
                 "run_start",
@@ -267,22 +324,47 @@ class JobScheduler:
                 pending.append((job, key))
 
             failures: List[str] = []
+            run_span_id = run_span.span_id if run_span is not None else None
             for (job, key), report in zip(pending, self._execute(pending, log)):
                 self._fold_report(
                     job, key, report, cache, stats, manifest, log,
-                    results_by_id, failures,
+                    results_by_id, failures, run_span_id=run_span_id,
                 )
             manifest.wall_seconds = time.perf_counter() - started
-            log.event("run_finish", manifest=manifest.to_dict())
+            finish_fields: Dict[str, Any] = {"manifest": manifest.to_dict()}
+            if stats is not None:
+                finish_fields["stats"] = {
+                    "count": stats.count,
+                    "total_time": round(stats.total_time, 9),
+                    "outcomes": stats.outcome_histogram,
+                }
+            log.event("run_finish", **finish_fields)
+            self._note_run_metrics(manifest)
             if failures and not cfg.keep_going:
                 raise EngineError(
                     "%d job(s) failed:\n%s" % (len(failures), "\n".join(failures))
                 )
         finally:
             self.last_manifest = manifest
+            if run_span_ctx is not None:
+                run_span_ctx.__exit__(None, None, None)
+                obs.deactivate(run_tracer)
             if own_log:
                 log.close()
+            else:
+                # externally owned logs stay open, but a crashed run must
+                # still leave every buffered event on disk
+                log.flush()
         return RunOutcome(results=results_by_id, manifest=manifest)
+
+    @staticmethod
+    def _note_run_metrics(manifest: RunManifest) -> None:
+        _ENGINE_JOBS.inc(manifest.jobs_cached, disposition="cached")
+        _ENGINE_JOBS.inc(manifest.jobs_executed, disposition="executed")
+        _ENGINE_JOBS.inc(manifest.jobs_failed, disposition="failed")
+        _ENGINE_PROPERTIES.inc(manifest.properties_evaluated, source="fresh")
+        _ENGINE_PROPERTIES.inc(manifest.properties_replayed, source="replayed")
+        _ENGINE_RUN_SECONDS.observe(manifest.wall_seconds)
 
     # ------------------------------------------------------------ internals
     def _replay_hit(self, job, key, entry, stats, manifest, log, results_by_id):
@@ -296,11 +378,14 @@ class JobScheduler:
         manifest.jobs_cached += 1
         manifest.cache_hits += 1
         manifest.note_results(replayed, replayed=True)
+        # replayed verdicts ran in an earlier run, so their checker time
+        # appears on no span of this trace; the profile reads it from here
         log.event(
             "cache_hit",
             job=job.job_id,
             key=key,
             properties=len(replayed),
+            replayed_seconds=round(sum(r.time_seconds for r in replayed), 9),
         )
         results_by_id[job.job_id] = value
 
@@ -310,7 +395,12 @@ class JobScheduler:
             return []
         for job, _key in pending:
             log.event("job_start", job=job.job_id)
-        args = (cfg.max_attempts, cfg.timeout_seconds, cfg.escalation_factor)
+        args = (
+            cfg.max_attempts,
+            cfg.timeout_seconds,
+            cfg.escalation_factor,
+            log.enabled,
+        )
         workers = min(cfg.workers, len(pending))
         if workers <= 1:
             return [_run_job_with_retries(job, *args) for job, _key in pending]
@@ -323,8 +413,12 @@ class JobScheduler:
 
     def _fold_report(
         self, job, key, report, cache, stats, manifest, log, results_by_id,
-        failures,
+        failures, run_span_id=None,
     ):
+        if report.spans:
+            # worker (or inline collector) span events, re-rooted under the
+            # run span with their original worker-side timestamps
+            replay_into(report.spans, log.event, reparent=run_span_id)
         manifest.attempts += len(report.attempts)
         manifest.retries += max(0, len(report.attempts) - 1)
         manifest.timeouts += sum(1 for a in report.attempts if a.timed_out)

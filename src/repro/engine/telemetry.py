@@ -25,22 +25,57 @@ __all__ = ["TelemetryLog", "RunManifest"]
 
 
 class TelemetryLog:
-    """Append-only JSONL event writer; a ``path`` of None disables output."""
+    """Buffered JSONL event writer; a ``path`` of None disables output.
 
-    def __init__(self, path: Optional[str]):
+    Events are buffered in memory and written in batches -- a flush
+    happens every ``flush_every`` events or ``flush_seconds`` seconds,
+    whichever comes first, instead of the write+fsync-per-line pattern
+    that dominated trace-enabled runs.  ``close()`` (and ``__exit__``)
+    always flushes, and the scheduler flushes in a ``finally`` so a
+    crashed run still leaves a readable trace.
+
+    Callers may pass an explicit ``ts`` field to timestamp an event at
+    its original occurrence time -- the span-forwarding path replays
+    worker-side events with the timestamps recorded in the worker.
+    """
+
+    def __init__(self, path: Optional[str], flush_every: int = 128,
+                 flush_seconds: float = 1.0):
         self.path = path
         self._handle = open(path, "a", encoding="utf-8") if path else None
+        self._buffer: list = []
+        self._flush_every = max(1, flush_every)
+        self._flush_seconds = flush_seconds
+        self._last_flush = time.monotonic()
+
+    @property
+    def enabled(self) -> bool:
+        return self._handle is not None
 
     def event(self, kind: str, **fields: Any):
         if self._handle is None:
             return
-        record = {"ts": round(time.time(), 6), "event": kind}
+        ts = fields.pop("ts", None)
+        record = {"ts": round(ts if ts is not None else time.time(), 6),
+                  "event": kind}
         record.update(fields)
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+        self._buffer.append(json.dumps(record, sort_keys=True))
+        if (
+            len(self._buffer) >= self._flush_every
+            or time.monotonic() - self._last_flush >= self._flush_seconds
+        ):
+            self.flush()
+
+    def flush(self):
+        if self._handle is not None and self._buffer:
+            self._handle.write("\n".join(self._buffer) + "\n")
+            self._handle.flush()
+            self._buffer.clear()
+        self._last_flush = time.monotonic()
 
     def close(self):
         if self._handle is not None:
+            self.flush()
             self._handle.close()
             self._handle = None
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import obs
 from ..props.query import Query
 from ..props.views import SymbolicOps, SymbolicTraceView
 from ..rtl.netlist import Netlist
@@ -114,47 +115,53 @@ class BmcContext:
 
     # ------------------------------------------------------------------ check
     def check(self, query: Query) -> CheckResult:
-        start = time.perf_counter()
-        assumptions = []
-        for expr in query.assumes:
-            combined = self.builder.TRUE
-            for t in range(self.horizon):
-                combined = self.builder.and_(
-                    combined, expr.evaluate(self.view, t, self.ops)
-                )
-            assumptions.append(combined)
-        target = query.prop.evaluate(self.view, self.ops)
-        assumptions.append(target)
-        verdict = self.solver.solve(
-            assumptions=assumptions, max_conflicts=self.conflict_budget
-        )
-        if verdict == SAT:
-            outcome = REACHABLE
-            witness = self._extract_witness()
-            detail = ""
-        elif verdict == UNSAT:
-            if self.complete_horizon:
-                outcome = UNREACHABLE
-                detail = "UNSAT within declared-complete horizon"
+        with obs.span("mc.check", engine=self.name, query=query.name) as sp:
+            start = time.perf_counter()
+            assumptions = []
+            for expr in query.assumes:
+                combined = self.builder.TRUE
+                for t in range(self.horizon):
+                    combined = self.builder.and_(
+                        combined, expr.evaluate(self.view, t, self.ops)
+                    )
+                assumptions.append(combined)
+            target = query.prop.evaluate(self.view, self.ops)
+            assumptions.append(target)
+            verdict = self.solver.solve(
+                assumptions=assumptions, max_conflicts=self.conflict_budget
+            )
+            if verdict == SAT:
+                outcome = REACHABLE
+                witness = self._extract_witness()
+                detail = ""
+            elif verdict == UNSAT:
+                if self.complete_horizon:
+                    outcome = UNREACHABLE
+                    detail = "UNSAT within declared-complete horizon"
+                else:
+                    outcome = UNDETERMINED
+                    detail = "UNSAT within bounded horizon %d" % self.horizon
+                witness = None
             else:
                 outcome = UNDETERMINED
-                detail = "UNSAT within bounded horizon %d" % self.horizon
-            witness = None
-        else:
-            outcome = UNDETERMINED
-            detail = "conflict budget exhausted"
-            witness = None
-        result = CheckResult(
-            query_name=query.name,
-            outcome=outcome,
-            engine=self.name,
-            witness=witness,
-            time_seconds=time.perf_counter() - start,
-            detail=detail,
-        )
-        if self.stats is not None:
-            self.stats.record(result)
-        return result
+                detail = "conflict budget exhausted"
+                witness = None
+            elapsed = time.perf_counter() - start
+            result = CheckResult(
+                query_name=query.name,
+                outcome=outcome,
+                engine=self.name,
+                witness=witness,
+                time_seconds=elapsed,
+                detail=detail,
+                depth=self.horizon,
+                solver=dict(self.solver.last_solve),
+            )
+            sp.set("outcome", outcome)
+            if self.stats is not None:
+                self.stats.record(result)
+                obs.note_property(outcome, elapsed)
+            return result
 
     def _extract_witness(self) -> List[Dict[str, int]]:
         witness = []

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..props.query import Query
 from ..props.views import ConcreteOps, ConcreteTraceView
 from ..sim.simulator import Simulator
@@ -141,23 +142,32 @@ class EnumerativeEngine:
         ops = ConcreteOps
         witness = None
         outcome = UNREACHABLE if self.tracedb.complete else UNDETERMINED
+        scanned = 0
+        depth = 0
         for context, view in zip(self.tracedb.contexts, self.tracedb.views):
+            scanned += 1
+            depth = max(depth, view.horizon)
             if not self._satisfies_assumes(view, query.assumes):
                 continue
             if query.prop.evaluate(view, ops):
                 outcome = REACHABLE
                 witness = view.as_dicts()
                 break
+        elapsed = time.perf_counter() - start
         result = CheckResult(
             query_name=query.name,
             outcome=outcome,
             engine=self.name,
             witness=witness,
-            time_seconds=time.perf_counter() - start,
+            time_seconds=elapsed,
             detail="" if self.tracedb.complete else "context family truncated",
+            depth=depth,
+            solver={"contexts_scanned": scanned,
+                    "contexts_total": len(self.tracedb)},
         )
         if self.stats is not None:
             self.stats.record(result)
+            obs.note_property(outcome, elapsed)
         return result
 
     @staticmethod

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..props.exprs import CycleExpr
 from ..props.views import SymbolicOps, SymbolicTraceView
 from ..rtl.netlist import Netlist
@@ -49,6 +50,15 @@ def _state_equal(builder, state_a, state_b):
     return builder.and_many(bits)
 
 
+def _merge_counters(*deltas):
+    """Sum per-solve counter dicts (base + inductive step)."""
+    merged: Dict[str, int] = {}
+    for delta in deltas:
+        for key, value in delta.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
 def prove_unreachable_kinduction(
     netlist: Netlist,
     bad: CycleExpr,
@@ -65,82 +75,100 @@ def prove_unreachable_kinduction(
     start = time.perf_counter()
     symbolic_registers = frozenset(symbolic_registers)
 
-    # ---- base case: BMC from reset for k steps
-    base_solver = SatSolver()
-    base_builder = BitBuilder(base_solver)
-    reset_state: Dict[str, List[int]] = {}
-    for reg, _ in netlist.registers:
-        if reg.name in symbolic_registers:
-            reset_state[reg.name] = base_builder.fresh_word(reg.width)
-        else:
-            reset_state[reg.name] = base_builder.const_word(reg.reset, reg.width)
-    base_frames = _unroll(base_builder, netlist, reset_state, k, base_solver)
-    base_view = SymbolicTraceView(base_frames, base_builder)
-    base_ops = SymbolicOps(base_builder)
-    target = base_builder.FALSE
-    for t in range(k):
-        target = base_builder.or_(target, bad.evaluate(base_view, t, base_ops))
-    verdict = base_solver.solve(assumptions=[target], max_conflicts=conflict_budget)
-    if verdict == SAT:
-        witness = [
-            {name: base_builder.word_value(bits) for name, bits in frame.named.items()}
-            for frame in base_frames
-        ]
+    def _finish(sp, outcome, detail, solver_delta, witness=None):
+        # note: no check_seconds accounting here -- the caller records the
+        # induction verdict into its PropertyStats and accounts the time
+        elapsed = time.perf_counter() - start
+        sp.set("outcome", outcome)
         return CheckResult(
             query_name="kind(%r)" % (bad,),
-            outcome=REACHABLE,
+            outcome=outcome,
             engine="k-induction",
             witness=witness,
-            time_seconds=time.perf_counter() - start,
-            detail="base-case witness at k=%d" % k,
-        )
-    if verdict == UNKNOWN:
-        return CheckResult(
-            query_name="kind(%r)" % (bad,),
-            outcome=UNDETERMINED,
-            engine="k-induction",
-            time_seconds=time.perf_counter() - start,
-            detail="base case budget exhausted",
+            time_seconds=elapsed,
+            detail=detail,
+            depth=k,
+            solver=solver_delta,
         )
 
-    # ---- inductive step: arbitrary start state, k good steps, bad at k
-    step_solver = SatSolver()
-    step_builder = BitBuilder(step_solver)
-    free_state: Dict[str, List[int]] = {
-        reg.name: step_builder.fresh_word(reg.width) for reg, _ in netlist.registers
-    }
-    step_frames = _unroll(step_builder, netlist, free_state, k + 1, step_solver)
-    step_view = SymbolicTraceView(step_frames, step_builder)
-    step_ops = SymbolicOps(step_builder)
-    for t in range(k):
-        good = -bad.evaluate(step_view, t, step_ops)
-        step_solver.add_clause([good])
-    if simple_path:
-        states = [free_state] + [frame.next_state for frame in step_frames[:-1]]
-        for i in range(len(states)):
-            for j in range(i + 1, len(states)):
-                same = _state_equal(step_builder, states[i], states[j])
-                step_solver.add_clause([-same])
-    bad_at_k = bad.evaluate(step_view, k, step_ops)
-    verdict = step_solver.solve(assumptions=[bad_at_k], max_conflicts=conflict_budget)
-    elapsed = time.perf_counter() - start
-    if verdict == UNSAT:
-        return CheckResult(
-            query_name="kind(%r)" % (bad,),
-            outcome=UNREACHABLE,
-            engine="k-induction",
-            time_seconds=elapsed,
-            detail="induction closed at k=%d" % k,
+    with obs.span("mc.kinduction", k=k) as root:
+        # ---- base case: BMC from reset for k steps
+        with obs.span("mc.kinduction.base"):
+            base_solver = SatSolver()
+            base_builder = BitBuilder(base_solver)
+            reset_state: Dict[str, List[int]] = {}
+            for reg, _ in netlist.registers:
+                if reg.name in symbolic_registers:
+                    reset_state[reg.name] = base_builder.fresh_word(reg.width)
+                else:
+                    reset_state[reg.name] = base_builder.const_word(
+                        reg.reset, reg.width
+                    )
+            base_frames = _unroll(base_builder, netlist, reset_state, k, base_solver)
+            base_view = SymbolicTraceView(base_frames, base_builder)
+            base_ops = SymbolicOps(base_builder)
+            target = base_builder.FALSE
+            for t in range(k):
+                target = base_builder.or_(
+                    target, bad.evaluate(base_view, t, base_ops)
+                )
+            verdict = base_solver.solve(
+                assumptions=[target], max_conflicts=conflict_budget
+            )
+            base_delta = dict(base_solver.last_solve)
+        if verdict == SAT:
+            witness = [
+                {
+                    name: base_builder.word_value(bits)
+                    for name, bits in frame.named.items()
+                }
+                for frame in base_frames
+            ]
+            return _finish(
+                root, REACHABLE, "base-case witness at k=%d" % k, base_delta,
+                witness=witness,
+            )
+        if verdict == UNKNOWN:
+            return _finish(
+                root, UNDETERMINED, "base case budget exhausted", base_delta
+            )
+
+        # ---- inductive step: arbitrary start state, k good steps, bad at k
+        with obs.span("mc.kinduction.step"):
+            step_solver = SatSolver()
+            step_builder = BitBuilder(step_solver)
+            free_state: Dict[str, List[int]] = {
+                reg.name: step_builder.fresh_word(reg.width)
+                for reg, _ in netlist.registers
+            }
+            step_frames = _unroll(
+                step_builder, netlist, free_state, k + 1, step_solver
+            )
+            step_view = SymbolicTraceView(step_frames, step_builder)
+            step_ops = SymbolicOps(step_builder)
+            for t in range(k):
+                good = -bad.evaluate(step_view, t, step_ops)
+                step_solver.add_clause([good])
+            if simple_path:
+                states = [free_state] + [
+                    frame.next_state for frame in step_frames[:-1]
+                ]
+                for i in range(len(states)):
+                    for j in range(i + 1, len(states)):
+                        same = _state_equal(step_builder, states[i], states[j])
+                        step_solver.add_clause([-same])
+            bad_at_k = bad.evaluate(step_view, k, step_ops)
+            verdict = step_solver.solve(
+                assumptions=[bad_at_k], max_conflicts=conflict_budget
+            )
+            merged = _merge_counters(base_delta, step_solver.last_solve)
+        if verdict == UNSAT:
+            return _finish(
+                root, UNREACHABLE, "induction closed at k=%d" % k, merged
+            )
+        detail = (
+            "induction step SAT (k too small or property not inductive)"
+            if verdict == SAT
+            else "induction step budget exhausted"
         )
-    detail = (
-        "induction step SAT (k too small or property not inductive)"
-        if verdict == SAT
-        else "induction step budget exhausted"
-    )
-    return CheckResult(
-        query_name="kind(%r)" % (bad,),
-        outcome=UNDETERMINED,
-        engine="k-induction",
-        time_seconds=elapsed,
-        detail=detail,
-    )
+        return _finish(root, UNDETERMINED, detail, merged)

@@ -22,7 +22,19 @@ UNDETERMINED = "undetermined"
 
 @dataclass
 class CheckResult:
-    """Outcome of one query evaluation."""
+    """Outcome of one query evaluation.
+
+    ``depth`` and ``solver`` carry the engine's effort accounting:
+    ``depth`` is the unroll horizon (BMC), induction depth k
+    (k-induction), or trace horizon (enumerative); ``solver`` is a dict
+    of per-check search-effort counters -- for SAT-backed engines the
+    :attr:`repro.solver.sat.SatSolver.last_solve` delta (conflicts,
+    decisions, propagations, restarts, learned clauses, formula sizes),
+    for the enumerative engine the contexts scanned.  Both default to
+    None and round-trip through :meth:`to_dict`/:meth:`from_dict`
+    backward-compatibly: payloads written before these fields existed
+    still load (the proof cache replays old entries unchanged).
+    """
 
     query_name: str
     outcome: str
@@ -30,6 +42,8 @@ class CheckResult:
     witness: Optional[List[Dict[str, int]]] = None  # per-cycle observations
     time_seconds: float = 0.0
     detail: str = ""
+    depth: Optional[int] = None
+    solver: Optional[Dict[str, int]] = None
 
     @property
     def reachable(self):
@@ -50,8 +64,12 @@ class CheckResult:
         return self.outcome
 
     def to_dict(self) -> Dict:
-        """JSON-ready form; exact inverse of :meth:`from_dict`."""
-        return {
+        """JSON-ready form; exact inverse of :meth:`from_dict`.
+
+        The effort fields are emitted only when present, so payloads
+        stay byte-compatible with pre-observability readers.
+        """
+        payload = {
             "query_name": self.query_name,
             "outcome": self.outcome,
             "engine": self.engine,
@@ -59,6 +77,11 @@ class CheckResult:
             "time_seconds": self.time_seconds,
             "detail": self.detail,
         }
+        if self.depth is not None:
+            payload["depth"] = self.depth
+        if self.solver is not None:
+            payload["solver"] = self.solver
+        return payload
 
     @staticmethod
     def from_dict(payload: Dict) -> "CheckResult":
@@ -69,4 +92,6 @@ class CheckResult:
             witness=payload.get("witness"),
             time_seconds=payload.get("time_seconds", 0.0),
             detail=payload.get("detail", ""),
+            depth=payload.get("depth"),
+            solver=payload.get("solver"),
         )

@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from .. import obs
 from ..props.query import Query
 from .bmc import BmcContext
 from .enumerative import EnumerativeEngine, TraceDB
@@ -39,23 +40,29 @@ class PortfolioEngine:
         self.stats = stats
 
     def check(self, query: Query) -> CheckResult:
-        started = time.perf_counter()
-        first = self.enumerative.check(query)
-        result = first
-        if first.outcome == UNDETERMINED and self.bmc is not None:
-            second = self.bmc.check(query)
-            # the symbolic engine can upgrade an inconclusive verdict either
-            # way; keep the stronger of the two
-            if second.outcome != UNDETERMINED:
-                result = second
-        result = CheckResult(
-            query_name=query.name,
-            outcome=result.outcome,
-            engine="%s->%s" % (self.name, result.engine),
-            witness=result.witness,
-            time_seconds=time.perf_counter() - started,
-            detail=result.detail,
-        )
-        if self.stats is not None:
-            self.stats.record(result)
-        return result
+        with obs.span("mc.check", engine=self.name, query=query.name) as sp:
+            started = time.perf_counter()
+            first = self.enumerative.check(query)
+            result = first
+            if first.outcome == UNDETERMINED and self.bmc is not None:
+                second = self.bmc.check(query)
+                # the symbolic engine can upgrade an inconclusive verdict either
+                # way; keep the stronger of the two
+                if second.outcome != UNDETERMINED:
+                    result = second
+            elapsed = time.perf_counter() - started
+            result = CheckResult(
+                query_name=query.name,
+                outcome=result.outcome,
+                engine="%s->%s" % (self.name, result.engine),
+                witness=result.witness,
+                time_seconds=elapsed,
+                detail=result.detail,
+                depth=result.depth,
+                solver=result.solver,
+            )
+            sp.set("outcome", result.outcome)
+            if self.stats is not None:
+                self.stats.record(result)
+                obs.note_property(result.outcome, elapsed)
+            return result

@@ -1,6 +1,7 @@
 """Reproduction reports: Fig. 8 matrix, Table II, SS VII-B3 statistics."""
 
 from .fig8 import CLASS_REPRESENTATIVES, Fig8Matrix, build_fig8, class_members
+from .profile import render_profile
 from .tables import property_stats_report, render_table, table2_report
 from .uspec import render_uspec_axiom, render_uspec_model
 from .waveforms import witness_pl_timeline, witness_to_vcd
@@ -11,6 +12,7 @@ __all__ = [
     "build_fig8",
     "class_members",
     "property_stats_report",
+    "render_profile",
     "render_table",
     "table2_report",
     "render_uspec_axiom",

@@ -19,9 +19,35 @@ Literals use DIMACS conventions: nonzero ints, ``-v`` is the negation of
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..obs.metrics import REGISTRY
+
 __all__ = ["SatSolver", "SAT", "UNSAT", "UNKNOWN"]
+
+# process-wide solver instrumentation (cheap: one update per solve call)
+_SOLVES = REGISTRY.counter(
+    "repro_sat_solves_total", "SAT solve() calls, by verdict"
+)
+_CONFLICTS = REGISTRY.counter(
+    "repro_sat_conflicts_total", "CDCL conflicts across all solvers"
+)
+_DECISIONS = REGISTRY.counter(
+    "repro_sat_decisions_total", "CDCL branching decisions across all solvers"
+)
+_PROPAGATIONS = REGISTRY.counter(
+    "repro_sat_propagations_total", "unit propagations across all solvers"
+)
+_RESTARTS = REGISTRY.counter(
+    "repro_sat_restarts_total", "Luby restarts across all solvers"
+)
+_LEARNED = REGISTRY.counter(
+    "repro_sat_learned_total", "learned clauses across all solvers"
+)
+_SOLVE_SECONDS = REGISTRY.histogram(
+    "repro_sat_solve_seconds", "wall-clock seconds per solve() call"
+)
 
 SAT = "sat"
 UNSAT = "unsat"
@@ -64,6 +90,12 @@ class SatSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
+        self.learned_total = 0
+        self.solves = 0
+        # per-solve() counter deltas, refreshed by every solve() call; the
+        # model-checking engines attach this to their CheckResults
+        self.last_solve: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ setup
     def new_var(self) -> int:
@@ -114,8 +146,49 @@ class SatSolver:
         self._watches.setdefault(clause[1], []).append(clause)
 
     # --------------------------------------------------------------- interface
+    def counters(self) -> Dict[str, int]:
+        """Cumulative search-effort counters for this solver instance."""
+        return {
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned": self.learned_total,
+        }
+
     def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None) -> str:
-        """Solve under ``assumptions``; returns SAT / UNSAT / UNKNOWN."""
+        """Solve under ``assumptions``; returns SAT / UNSAT / UNKNOWN.
+
+        Besides the verdict, each call refreshes :attr:`last_solve` with
+        the search-effort *delta* of this call (conflicts, decisions,
+        propagations, restarts, learned clauses) plus the formula size
+        (clauses, learned-database size, variables) -- the per-query
+        accounting the paper reads off JasperGold's proof profiling.
+        """
+        before = self.counters()
+        started = time.perf_counter()
+        verdict = UNSAT
+        try:
+            verdict = self._search(assumptions, max_conflicts)
+            return verdict
+        finally:
+            elapsed = time.perf_counter() - started
+            after = self.counters()
+            delta = {key: after[key] - before[key] for key in after}
+            delta["clauses"] = len(self._clauses)
+            delta["learned_db"] = len(self._learned)
+            delta["vars"] = self.num_vars
+            self.last_solve = delta
+            self.solves += 1
+            _SOLVES.inc(verdict=verdict)
+            _CONFLICTS.inc(delta["conflicts"])
+            _DECISIONS.inc(delta["decisions"])
+            _PROPAGATIONS.inc(delta["propagations"])
+            _RESTARTS.inc(delta["restarts"])
+            _LEARNED.inc(delta["learned"])
+            _SOLVE_SECONDS.observe(elapsed)
+
+    def _search(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None) -> str:
         if not self._ok:
             return UNSAT
         self._backtrack(0)
@@ -143,6 +216,7 @@ class SatSolver:
                     self._backtrack(0)
                     return UNKNOWN
                 if self.conflicts - restart_base >= restart_limit:
+                    self.restarts += 1
                     restart_index += 1
                     restart_limit = 64 * _luby(restart_index)
                     restart_base = self.conflicts
@@ -313,6 +387,7 @@ class SatSolver:
         return learned, back_level
 
     def _record_learned(self, learned):
+        self.learned_total += 1
         if len(learned) == 1:
             self._enqueue(learned[0], None)
             return
