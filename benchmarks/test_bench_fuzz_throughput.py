@@ -1,0 +1,106 @@
+"""Fuzzing throughput bench + the per-transform SynthLC invariance sweep.
+
+Two jobs live here because both are too heavy for tier-1:
+
+* a fixed-budget differential campaign measuring designs/sec and
+  checks/sec through the full oracle (simulator, bit-blaster, three
+  bounded engines, k-induction), recorded to ``FUZZ_BENCH.json``;
+* the per-transform SynthLC label-invariance sweep on the xlen=4 core
+  (tier-1 runs the five transforms *composed* once -- the strictest
+  single check -- while this sweep isolates each transform at ~40s per
+  instrumented classification).
+"""
+
+import time
+
+import pytest
+
+from repro.core import Rtl2MuPath
+from repro.core.synthlc import SynthLC
+from repro.designs import (
+    ContextFamilyConfig,
+    CoreConfig,
+    CoreContextProvider,
+    build_core,
+)
+from repro.fuzz import CampaignConfig, run_campaign
+from repro.fuzz.metamorphic import (
+    TRANSFORMS,
+    canonical_contracts,
+    protected_register_names,
+    transformed_design,
+)
+
+from conftest import print_banner, record_bench_json
+
+CAMPAIGN_BUDGET_S = 12.0
+MIN_DESIGNS_PER_SEC = 1.0
+
+SYNTH_FAMILY = ContextFamilyConfig(
+    horizon=30, neighbors=("DIV",), iuv_values=(0, 1), neighbor_values=(0, 1),
+)
+TAINT_FAMILY = ContextFamilyConfig(
+    horizon=30, neighbors=("DIV",), iuv_values=(0, 1), neighbor_values=(0, 1),
+    instrumented=True,
+)
+
+
+def test_campaign_throughput(benchmark):
+    config = CampaignConfig(seed=0, budget_seconds=CAMPAIGN_BUDGET_S,
+                            out_dir="fuzz-out-bench")
+    started = time.perf_counter()
+    result = run_campaign(config)
+    elapsed = time.perf_counter() - started
+
+    assert result.ok, result.summary()
+    designs_per_sec = result.designs / elapsed
+    checks_per_sec = result.checks / elapsed
+
+    print_banner("fuzz campaign throughput (budget %.0fs)" % CAMPAIGN_BUDGET_S)
+    print("designs: %d (%.1f/s)" % (result.designs, designs_per_sec))
+    print("oracle checks: %d (%.0f/s)" % (result.checks, checks_per_sec))
+    print("undetermined verdicts: %d" % result.undetermined)
+
+    record_bench_json("FUZZ_BENCH.json", {
+        "budget_seconds": CAMPAIGN_BUDGET_S,
+        "designs": result.designs,
+        "checks": result.checks,
+        "designs_per_sec": round(designs_per_sec, 2),
+        "checks_per_sec": round(checks_per_sec, 1),
+        "undetermined": result.undetermined,
+        "verdicts": dict(result.verdicts),
+    })
+    assert designs_per_sec >= MIN_DESIGNS_PER_SEC
+
+
+@pytest.fixture(scope="module")
+def xlen4_core():
+    return build_core(CoreConfig(xlen=4))
+
+
+@pytest.fixture(scope="module")
+def xlen4_protected(xlen4_core):
+    return protected_register_names(xlen4_core.metadata)
+
+
+def _contract_labels(design):
+    tool = Rtl2MuPath(design, CoreContextProvider(xlen=4, config=SYNTH_FAMILY))
+    results = {name: tool.synthesize(name) for name in ("LW", "DIVU")}
+    taint = CoreContextProvider(xlen=4, config=TAINT_FAMILY)
+    return canonical_contracts(
+        SynthLC(design, taint).classify(
+            results, transmitters=["SW", "LW", "DIVU"]))
+
+
+@pytest.fixture(scope="module")
+def xlen4_base_labels(xlen4_core):
+    return _contract_labels(xlen4_core)
+
+
+@pytest.mark.parametrize("name", sorted(TRANSFORMS))
+def test_synthlc_labels_invariant_per_transform(
+        xlen4_core, xlen4_protected, xlen4_base_labels, name, benchmark):
+    variant = TRANSFORMS[name](
+        xlen4_core.netlist, seed=9, protected=xlen4_protected)
+    labels = _contract_labels(transformed_design(xlen4_core, variant))
+    assert labels == xlen4_base_labels

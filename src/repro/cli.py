@@ -28,6 +28,23 @@ Commands:
     text exposition) at run end; ``--metrics-port N`` serves the same
     registry live on ``127.0.0.1:N/metrics`` for the run's duration.
 
+* ``fuzz`` -- run a differential fuzz campaign: generate seeded random
+  sequential designs, cross-check every engine (simulator vs reference
+  model, bit-blaster, BMC, k-induction, enumerative, portfolio) on the
+  REACHABLE/UNREACHABLE/UNDETERMINED lattice, shrink any disagreement
+  to a minimal reproducer, and write it to ``--out``.  Flags:
+
+  * ``--seed N`` -- campaign seed (design seeds stream from it);
+  * ``--budget SECS`` -- wall-clock budget (default 30);
+  * ``--out DIR`` -- reproducer directory (default ``fuzz-out``);
+  * ``--max-designs N`` -- stop after N designs even under budget;
+  * ``--horizon N`` -- oracle unrolling depth (default 4);
+  * ``--no-shrink`` -- write unshrunk reproducers;
+  * ``--trace FILE`` -- JSONL span telemetry, analyzable by ``profile``;
+  * ``--metrics FILE`` -- dump the metrics registry at campaign end.
+
+  Exit status 1 when any oracle disagreement was found.
+
 * ``profile TRACE`` -- analyze a ``--trace`` JSONL file: per-phase and
   per-instruction time breakdowns, hotspot ranking, and the checker-time
   reconciliation against the run's property statistics.  Flags:
@@ -197,6 +214,50 @@ def cmd_synth_all(args):
     return 0
 
 
+def cmd_fuzz(args):
+    import json
+    import os
+
+    from . import obs
+    from .engine.telemetry import TelemetryLog
+    from .fuzz import CampaignConfig, OracleConfig, run_campaign
+    from .obs import get_registry
+    from .obs.tracer import Tracer
+
+    config = CampaignConfig(
+        seed=args.seed,
+        budget_seconds=args.budget,
+        out_dir=args.out,
+        max_designs=args.max_designs,
+        shrink=not args.no_shrink,
+        oracle=OracleConfig(horizon=args.horizon),
+    )
+    tracer = None
+    log = None
+    if args.trace:
+        log = TelemetryLog(args.trace)
+        tracer = Tracer(sink=log.event)
+        obs.activate(tracer)
+    try:
+        result = run_campaign(config)
+    finally:
+        if tracer is not None:
+            obs.deactivate(tracer)
+        if log is not None:
+            log.close()
+        if args.metrics:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(get_registry().to_prometheus())
+    os.makedirs(config.out_dir, exist_ok=True)
+    summary_path = os.path.join(config.out_dir, "summary.json")
+    with open(summary_path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(result.summary())
+    print("summary: %s" % summary_path)
+    return 0 if result.ok else 1
+
+
 def cmd_profile(args):
     import json
 
@@ -279,6 +340,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve /metrics on 127.0.0.1:N during the run "
                         "(0 = ephemeral port)")
     p.set_defaults(func=cmd_synth_all)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzz campaign across all verification engines",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    p.add_argument("--budget", type=float, default=30.0,
+                   help="wall-clock budget in seconds (default 30)")
+    p.add_argument("--out", default="fuzz-out", metavar="DIR",
+                   help="directory for shrunk reproducers (default fuzz-out)")
+    p.add_argument("--max-designs", type=int, default=None, metavar="N",
+                   help="stop after N designs even if budget remains")
+    p.add_argument("--horizon", type=int, default=4,
+                   help="oracle unrolling horizon in cycles (default 4)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="write reproducers without delta-debugging them")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="JSONL span telemetry (readable by 'repro profile')")
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="dump Prometheus text-format metrics at campaign end")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "profile",

@@ -1,0 +1,341 @@
+"""Verdict-preserving netlist transforms + canonical result serializers.
+
+Metamorphic testing complements the differential oracle: instead of a
+second implementation we use a second *design* that is semantically
+identical by construction, and assert the whole verification stack
+(simulation, property verdicts, uPATH synthesis, SynthLC labels) cannot
+tell them apart on named signals.
+
+Every transform clones a netlist back into a fresh
+:class:`~repro.rtl.module.Module` (the same rebuild idiom the CellIFT
+instrumentation uses), applying a local rewrite that preserves
+cycle-accurate semantics of all named signals:
+
+* :func:`rename_registers` -- alpha-rename registers (protected names,
+  i.e. anything metadata or context providers address, are kept);
+* :func:`insert_dead_cells` -- extra logic hanging off new module
+  outputs (so elaboration's DCE keeps it) that no named signal reads;
+* :func:`double_negate` -- rewrite selected op nodes ``x`` into
+  ``(x ^ mask) ^ mask``; an xor round-trip rather than ``~~x`` because
+  the module builder folds double inversion away on the spot;
+* :func:`mux_arm_swap` -- ``mux(s, a, b)`` into ``mux(~s, b, a)``;
+* :func:`retime_registers` -- when a register's next is ``not(x)`` or
+  ``x ^ const``, push the inversion through the register: the renamed
+  register latches ``x`` with a compensated reset value and every
+  reader sees the inversion re-applied on its output.
+
+All randomized choices flow through ``random.Random(seed)``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..rtl.module import Module
+from ..rtl.netlist import Netlist, elaborate
+from ..rtl.nodes import Node, mux
+
+__all__ = [
+    "clone_netlist",
+    "rename_registers",
+    "insert_dead_cells",
+    "double_negate",
+    "mux_arm_swap",
+    "retime_registers",
+    "TRANSFORMS",
+    "protected_register_names",
+    "transformed_design",
+    "canonical_mupath",
+    "canonical_mupaths",
+    "canonical_contracts",
+]
+
+
+def _rebuild(m: Module, node: Node, args) -> Node:
+    """Re-issue one op node on ``m`` with already-cloned args."""
+    op = node.op
+    if op in ("slice", "shl", "shr"):
+        return m._make(op, args, value=node.value, width=node.width)
+    if op in ("redor", "redand", "eq", "ult"):
+        return m._make(op, args, width=1)
+    if op == "concat":
+        return m._make(op, args, width=node.width)
+    return m._make(op, args, width=node.width)
+
+
+def clone_netlist(
+    netlist: Netlist,
+    suffix: str = "",
+    rename: Optional[Dict[str, str]] = None,
+    rewrite=None,
+    retime: Iterable[str] = (),
+) -> Module:
+    """Clone ``netlist`` into a fresh module, applying rewrites.
+
+    ``rename`` maps old register names to new ones.  ``rewrite`` is a
+    callable ``(module, node, cloned) -> Node`` applied to every cloned
+    op node (identity when None).  ``retime`` names registers whose
+    ``not``/``xor-const`` next-function should be pushed through the
+    flop (reset compensated, readers see the inversion re-applied).
+    """
+    rename = rename or {}
+    retime = set(retime)
+    m = Module(netlist.name + suffix)
+    mapping: Dict[int, Node] = {}
+
+    # decide the retiming rewrite for each register up front
+    next_of = {reg.name: nxt for reg, nxt in netlist.registers}
+    plans: Dict[str, Tuple[str, int]] = {}
+    for reg, nxt in netlist.registers:
+        if reg.name not in retime:
+            continue
+        if nxt.op == "not":
+            plans[reg.name] = ("not", (1 << reg.width) - 1)
+        elif nxt.op == "xor" and any(a.op == "const" for a in nxt.args):
+            const = next(a.value for a in nxt.args if a.op == "const")
+            plans[reg.name] = ("xor", const)
+
+    regs: Dict[str, object] = {}
+    for reg, _nxt in netlist.registers:
+        new_name = rename.get(reg.name, reg.name)
+        if reg.name in plans:
+            _kind, const = plans[reg.name]
+            new_name = new_name + "__rt"
+            new_reg = m.reg(new_name, reg.width, reset=reg.reset ^ const)
+            regs[reg.name] = new_reg
+            mapping[reg.q.uid] = new_reg.q ^ const
+        else:
+            new_reg = m.reg(new_name, reg.width, reset=reg.reset)
+            regs[reg.name] = new_reg
+            mapping[reg.q.uid] = new_reg.q
+
+    for node in netlist.order:
+        if node.uid in mapping:  # register q nodes, pre-seeded above
+            continue
+        op = node.op
+        if op == "input":
+            mapping[node.uid] = m.input(node.name, node.width)
+            continue
+        if op == "const":
+            mapping[node.uid] = m.const(node.value, node.width)
+            continue
+        if op == "reg":  # pragma: no cover - pre-seeded
+            continue
+        args = [mapping[a.uid] for a in node.args]
+        cloned = _rebuild(m, node, args)
+        if rewrite is not None:
+            cloned = rewrite(m, node, cloned)
+        mapping[node.uid] = cloned
+
+    for reg, nxt in netlist.registers:
+        new_reg = regs[reg.name]
+        if reg.name in plans:
+            kind, const = plans[reg.name]
+            if kind == "not":
+                # next was ~x: store x instead, invert on the way out
+                new_reg.next = mapping[nxt.args[0].uid]
+            else:
+                x = next(a for a in nxt.args if a.op != "const")
+                new_reg.next = mapping[x.uid]
+        else:
+            new_reg.next = mapping[nxt.uid]
+
+    for name, node in netlist.named.items():
+        m.name_signal(name, mapping[node.uid])
+    for name, node in netlist.outputs.items():
+        m.output(name, mapping[node.uid])
+    return m
+
+
+# ------------------------------------------------------------- transforms
+
+def protected_register_names(metadata) -> Set[str]:
+    """Register names that context providers / IFT configs address by
+    name and therefore must survive renaming and retiming untouched."""
+    protected: Set[str] = set()
+    for attr in ("arf_registers", "amem_registers", "persistent_registers",
+                 "operand_registers"):
+        protected.update(getattr(metadata, attr, ()) or ())
+    return protected
+
+
+def rename_registers(netlist: Netlist, seed: int = 0,
+                     protected: Iterable[str] = ()) -> Netlist:
+    """Alpha-rename every unprotected register."""
+    rng = random.Random(seed)
+    protected = set(protected)
+    rename = {}
+    for reg, _nxt in netlist.registers:
+        if reg.name in protected:
+            continue
+        rename[reg.name] = "mm%04d_%s" % (rng.randrange(10000), reg.name)
+    return elaborate(clone_netlist(netlist, suffix="_ren", rename=rename))
+
+
+def insert_dead_cells(netlist: Netlist, seed: int = 0,
+                      count: int = 6) -> Netlist:
+    """Add logic no named signal depends on, kept alive by new outputs."""
+    rng = random.Random(seed)
+    m = clone_netlist(netlist, suffix="_dead")
+    pool = [n for n in m._nodes if n.op not in ("input", "const")]
+    if not pool:
+        pool = [m.const(1, 1)]
+    acc = rng.choice(pool)[0]
+    for _ in range(count):
+        bit = rng.choice(pool)[0]
+        acc = (acc ^ bit) if rng.random() < 0.5 else ~(acc & bit)
+    m.output("__dead0", acc)
+    return elaborate(m)
+
+
+def double_negate(netlist: Netlist, seed: int = 0,
+                  fraction: float = 0.3) -> Netlist:
+    """Rewrite a fraction of op nodes ``x`` as ``(x ^ mask) ^ mask``."""
+    rng = random.Random(seed)
+
+    def rewrite(m: Module, node: Node, cloned: Node) -> Node:
+        if cloned.op in ("input", "reg", "const"):
+            return cloned
+        if rng.random() >= fraction:
+            return cloned
+        mask = (1 << cloned.width) - 1
+        return (cloned ^ mask) ^ mask
+
+    return elaborate(clone_netlist(netlist, suffix="_dneg", rewrite=rewrite))
+
+
+def mux_arm_swap(netlist: Netlist, seed: int = 0,
+                 fraction: float = 1.0) -> Netlist:
+    """Rewrite ``mux(s, a, b)`` as ``mux(~s, b, a)``."""
+    rng = random.Random(seed)
+
+    def rewrite(m: Module, node: Node, cloned: Node) -> Node:
+        if node.op != "mux" or cloned.op != "mux":
+            return cloned
+        if rng.random() >= fraction:
+            return cloned
+        sel, a, b = cloned.args
+        return mux(~sel, b, a)
+
+    return elaborate(clone_netlist(netlist, suffix="_mswap", rewrite=rewrite))
+
+
+def retime_registers(netlist: Netlist, protected: Iterable[str] = (),
+                     limit: Optional[int] = None) -> Netlist:
+    """Push ``not``/``xor-const`` next-functions through their flops.
+
+    Only registers whose next node is eligible are touched; protected
+    registers (externally addressed by name) never are.  Retimed
+    registers are renamed (``__rt``) since their stored value changes --
+    the design's named signals are cycle-for-cycle identical.
+    """
+    protected = set(protected)
+    eligible = []
+    for reg, nxt in netlist.registers:
+        if reg.name in protected:
+            continue
+        if nxt.op == "not" or (
+            nxt.op == "xor" and any(a.op == "const" for a in nxt.args)
+        ):
+            eligible.append(reg.name)
+    if limit is not None:
+        eligible = eligible[:limit]
+    return elaborate(clone_netlist(netlist, suffix="_rt", retime=eligible))
+
+
+TRANSFORMS = {
+    "rename": lambda netlist, seed=0, protected=(): rename_registers(
+        netlist, seed=seed, protected=protected),
+    "dead-cells": lambda netlist, seed=0, protected=(): insert_dead_cells(
+        netlist, seed=seed),
+    "double-negate": lambda netlist, seed=0, protected=(): double_negate(
+        netlist, seed=seed),
+    "mux-arm-swap": lambda netlist, seed=0, protected=(): mux_arm_swap(
+        netlist, seed=seed),
+    "retime": lambda netlist, seed=0, protected=(): retime_registers(
+        netlist, protected=protected),
+}
+
+
+def transformed_design(design, netlist: Netlist):
+    """A shallow copy of ``design`` with its netlist swapped out."""
+    import copy
+
+    clone = copy.copy(design)
+    clone.netlist = netlist
+    return clone
+
+
+# ---------------------------------------------------- canonical serializers
+
+def _canon(value):
+    if isinstance(value, frozenset):
+        return sorted(value)
+    if isinstance(value, (set,)):
+        return sorted(value)
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in sorted(value.items())}
+    return value
+
+
+def canonical_mupath(result) -> str:
+    """Stable serialization of one MuPathResult's *semantic* content:
+    the uPATH families, dominance/exclusivity facts, and decision set --
+    everything the paper's synthesis output means, nothing incidental
+    (timings, counters) that legitimately varies."""
+    upaths = sorted(
+        json.dumps({
+            "pl_set": sorted(u.pl_set),
+            "revisit": _canon(u.revisit),
+            "hb_edges": _canon(sorted(tuple(e) for e in u.hb_edges)),
+            "run_lengths": _canon(u.run_lengths),
+        }, sort_keys=True)
+        for u in result.upaths
+    )
+    payload = {
+        "iuv": result.iuv,
+        "iuv_pls": sorted(result.iuv_pls),
+        "dominates": _canon(sorted(tuple(e) for e in result.dominates)),
+        "exclusive": _canon(sorted(tuple(e) for e in result.exclusive)),
+        "upaths": upaths,
+        "decision_sources": sorted(result.decisions.sources),
+        "decisions": sorted(repr(d) for d in result.decisions.decisions()),
+        "paths": sorted(
+            json.dumps([sorted(cycle) for cycle in path.visits])
+            for path in result.concrete_paths
+        ),
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def canonical_mupaths(results: Dict[str, object]) -> str:
+    return json.dumps(
+        {name: canonical_mupath(result) for name, result in results.items()},
+        sort_keys=True,
+    )
+
+
+def canonical_contracts(synthlc_result) -> str:
+    """Stable serialization of SynthLC's classification output."""
+    tags = sorted(
+        json.dumps({
+            "decision": [_canon(part) for part in key],
+            "tags": sorted(map(str, value)),
+        }, sort_keys=True)
+        for key, value in synthlc_result.tags_by_decision.items()
+    )
+    payload = {
+        "signatures": sorted(s.render() for s in synthlc_result.signatures),
+        "transponders": sorted(synthlc_result.transponders),
+        "candidates": sorted(synthlc_result.candidate_transponders),
+        "transmitters": {
+            ttype: sorted(names)
+            for ttype, names in synthlc_result.transmitters.items()
+        },
+        "tags": tags,
+    }
+    return json.dumps(payload, sort_keys=True)

@@ -60,7 +60,12 @@ def _luby(i):
     while (1 << (k + 1)) - 1 <= i:
         k += 1
     while (1 << k) - 1 != i:
-        i -= (1 << (k - 1)) - 1
+        # recurse into the tail: positions past a completed block of
+        # length 2^k - 1 repeat the sequence from the start.  Subtracting
+        # anything less (e.g. 2^(k-1) - 1) leaves i unchanged when k == 1
+        # and the loop never terminates -- the fuzzer caught exactly that
+        # on the first solve to reach 64 conflicts (restart index 2).
+        i -= (1 << k) - 1
         k = 1
         while (1 << (k + 1)) - 1 <= i:
             k += 1
@@ -111,6 +116,13 @@ class SatSolver:
         """Add a clause; returns False if the formula became trivially UNSAT."""
         if not self._ok:
             return False
+        # Adding a clause invalidates any model from a previous solve().
+        # Return to the root level first: the satisfied/falsified checks
+        # below must only consult root facts, and a unit clause enqueued
+        # here must land at level 0 -- enqueued at a stale decision level
+        # it would be silently erased by the next search's backtrack,
+        # losing the constraint (found by the differential fuzzer).
+        self._backtrack(0)
         seen = set()
         clause = []
         for lit in lits:

@@ -9,7 +9,7 @@ from repro.rtl import Module, elaborate
 from repro.sim import Simulator
 from repro.solver import SAT, BitBuilder, SatSolver, blast_frame
 
-from circuit_gen import MASK, WIDTH, build_random_expr
+from repro.fuzz.gen import MASK, WIDTH, build_random_expr
 
 
 def fresh():

@@ -14,7 +14,7 @@ from repro.ift import IftConfig, instrument_ift
 from repro.rtl import Module, elaborate, mux
 from repro.sim import Simulator
 
-from circuit_gen import MASK, WIDTH, build_random_expr
+from repro.fuzz.gen import MASK, WIDTH, build_random_expr
 
 
 def _instrument_expr_module(seed):

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.rtl import Module, elaborate, mux
 from repro.sim import Simulator, Trace, trace_to_vcd
 
-from circuit_gen import MASK, WIDTH, build_random_expr
+from repro.fuzz.gen import MASK, WIDTH, build_random_expr
 
 
 class TestCounter:
