@@ -1,0 +1,143 @@
+"""Fault-tolerance bench: checkpoint overhead and recover-vs-rerun.
+
+Two measurements, recorded to ``FAULTS_BENCH.json`` in the repo root:
+
+* **Checkpoint overhead** -- the same two-instruction ``synthesize_all``
+  workload with and without a ``--run-dir`` checkpoint (fsynced JSONL of
+  every completed job report), min over repeats.  The durability tax must
+  stay under 5% of the clean run, or checkpointing would not be
+  defensible as an always-on default for long campaigns.
+
+* **Recover-and-resume vs cold rerun** -- simulate a run that died after
+  finishing 2 of 3 instructions, then measure ``--resume`` (replays the
+  2 checkpointed jobs, executes 1) against a cold rerun of all 3.
+  Resume must be faster: that gap is the entire value proposition of
+  checkpointing a multi-day campaign.
+"""
+
+import os
+import time
+
+from repro.core import Rtl2MuPath
+from repro.designs import ContextFamilyConfig, CoreContextProvider, build_core
+from repro.engine import EngineConfig, JobScheduler
+
+from conftest import print_banner, record_bench_json
+
+FAMILY = ContextFamilyConfig(
+    horizon=24,
+    neighbors=("DIV",),
+    iuv_values=(0, 1),
+    neighbor_values=(0, 1),
+    include_deep=False,
+)
+INSTRS = ("ADD", "DIV", "LW")
+OVERHEAD_INSTRS = ("ADD", "DIV")
+REPEATS = 3
+OVERHEAD_BUDGET = 0.05
+
+
+def _make_tool():
+    design = build_core()
+    provider = CoreContextProvider(xlen=design.config.xlen, config=FAMILY)
+    return Rtl2MuPath(design, provider)
+
+
+def _run(instrs, run_dir=None, resume=False):
+    tool = _make_tool()
+    engine = JobScheduler(
+        EngineConfig(jobs=1, run_dir=run_dir, resume=resume)
+    )
+    started = time.perf_counter()
+    results = tool.synthesize_all(list(instrs), engine=engine)
+    elapsed = time.perf_counter() - started
+    return elapsed, results, engine.last_manifest
+
+
+def test_checkpoint_overhead_under_budget(tmp_path, benchmark):
+    _run(OVERHEAD_INSTRS)  # warm up imports / bytecode
+
+    plain_s = []
+    checkpointed_s = []
+    baseline = None
+    for i in range(REPEATS):
+        elapsed, results, _m = _run(OVERHEAD_INSTRS)
+        plain_s.append(elapsed)
+        if baseline is None:
+            baseline = results
+
+        run_dir = str(tmp_path / ("run-%d" % i))
+        elapsed, results, manifest = _run(OVERHEAD_INSTRS, run_dir=run_dir)
+        checkpointed_s.append(elapsed)
+        assert manifest.jobs_executed == len(OVERHEAD_INSTRS)
+        assert os.path.isfile(os.path.join(run_dir, "checkpoint.jsonl"))
+        for name in OVERHEAD_INSTRS:
+            assert results[name] == baseline[name], name
+
+    best_plain = min(plain_s)
+    best_checkpointed = min(checkpointed_s)
+    overhead = best_checkpointed / best_plain - 1.0
+
+    print_banner("CHECKPOINT OVERHEAD (run-dir off vs on)")
+    print("workload        : synth-all %s (serial engine, min of %d)"
+          % ("+".join(OVERHEAD_INSTRS), REPEATS))
+    print("checkpoint off  : %.4f s" % best_plain)
+    print("checkpoint on   : %.4f s" % best_checkpointed)
+    print("overhead        : %+.2f%%  (budget %.0f%%)"
+          % (overhead * 100.0, OVERHEAD_BUDGET * 100.0))
+
+    # ------------------------------------------- recover-and-resume vs rerun
+    partial_dir = str(tmp_path / "partial")
+    _run(INSTRS[:2], run_dir=partial_dir)  # the "interrupted" run's progress
+
+    cold_s = []
+    resume_s = []
+    for _ in range(REPEATS):
+        elapsed, cold_results, _m = _run(INSTRS)
+        cold_s.append(elapsed)
+        elapsed, resume_results, manifest = _run(
+            INSTRS, run_dir=partial_dir, resume=True
+        )
+        resume_s.append(elapsed)
+        assert manifest.jobs_resumed == 2
+        assert manifest.jobs_executed == 1
+        for name in INSTRS:
+            assert resume_results[name] == cold_results[name], name
+        # keep the partial checkpoint partial for the next repeat
+        _run(INSTRS[:2], run_dir=partial_dir)
+
+    best_cold = min(cold_s)
+    best_resume = min(resume_s)
+    speedup = best_cold / best_resume
+
+    print_banner("RECOVER-AND-RESUME vs COLD RERUN")
+    print("workload        : synth-all %s, 2 of 3 jobs checkpointed"
+          % "+".join(INSTRS))
+    print("cold rerun      : %.4f s (all %d jobs)" % (best_cold, len(INSTRS)))
+    print("resume          : %.4f s (1 executed, 2 replayed)" % best_resume)
+    print("speedup         : %.2fx" % speedup)
+
+    record_bench_json(
+        "FAULTS_BENCH.json",
+        {
+            "workload": "synthesize_all %s, serial engine" % (INSTRS,),
+            "repeats": REPEATS,
+            "cpu_count": os.cpu_count(),
+            "checkpoint_off_s": round(best_plain, 6),
+            "checkpoint_on_s": round(best_checkpointed, 6),
+            "checkpoint_overhead_fraction": round(overhead, 6),
+            "checkpoint_overhead_budget": OVERHEAD_BUDGET,
+            "cold_rerun_s": round(best_cold, 6),
+            "resume_s": round(best_resume, 6),
+            "resume_speedup": round(speedup, 4),
+        },
+    )
+
+    assert overhead < OVERHEAD_BUDGET, (
+        "checkpoint overhead %.2f%% exceeds the %.0f%% budget"
+        % (overhead * 100.0, OVERHEAD_BUDGET * 100.0)
+    )
+    assert best_resume < best_cold, (
+        "resume (%.4fs) must beat a cold rerun (%.4fs)"
+        % (best_resume, best_cold)
+    )

@@ -24,6 +24,19 @@ Commands:
   * ``--timeout SECONDS`` / ``--max-attempts N`` -- per-job wall-clock
     deadline and the retry-with-escalated-conflict-budget ladder for
     UNDETERMINED outcomes;
+  * ``--run-dir DIR`` / ``--resume DIR`` -- checkpoint completed job
+    reports (fsynced JSONL) and resume an interrupted run: ``--resume``
+    replays the checkpoint and executes only the unfinished jobs,
+    producing verdicts identical to an uninterrupted run;
+  * ``--keep-going`` -- degrade failed/quarantined jobs to reported
+    failures instead of aborting the whole batch;
+  * ``--max-rss-mb MB`` -- per-worker memory soft ceiling: attempts
+    crossing it abort as degraded results before the kernel OOM-killer
+    takes the worker;
+  * ``--backoff SECONDS`` -- base delay (exponential, seeded jitter)
+    between process-pool rebuilds after worker deaths;
+  * ``--fault-plan FILE`` -- arm a deterministic fault-injection plan
+    (see :mod:`repro.faults`) for chaos testing;
   * ``--metrics FILE`` -- dump the process metrics registry (Prometheus
     text exposition) at run end; ``--metrics-port N`` serves the same
     registry live on ``127.0.0.1:N/metrics`` for the run's duration.
@@ -148,15 +161,48 @@ def cmd_sc_safe(args):
 
 
 def cmd_synth_all(args):
+    import json
+    import os
+
     from .engine import EngineConfig, EngineError, JobScheduler
+    from .faults import FaultPlan
     from .obs import get_registry, start_metrics_server
 
-    names = list(args.instrs) or sorted(set(CLASS_REPRESENTATIVES.values()))
+    run_dir = args.resume or args.run_dir
+    resume = args.resume is not None
+    names = list(args.instrs)
+    run_meta_path = os.path.join(run_dir, "run.json") if run_dir else None
+    if not names and resume and run_meta_path and os.path.isfile(run_meta_path):
+        # an interrupted run's job list is part of its checkpoint state:
+        # `--resume DIR` alone re-runs exactly what the original asked for
+        with open(run_meta_path, "r", encoding="utf-8") as handle:
+            names = list(json.load(handle).get("instrs", []))
+    if not names:
+        names = sorted(set(CLASS_REPRESENTATIVES.values()))
     known = {s.name for s in isa.INSTRUCTIONS}
     unknown = [name for name in names if name not in known]
     if unknown:
         print("unknown instruction(s): %s" % ", ".join(unknown))
         return 2
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print("error loading fault plan: %s" % exc)
+            return 2
+        if fault_plan.state_dir is None:
+            # firing counts must survive the worker deaths the plan causes
+            import tempfile
+
+            state_dir = (
+                os.path.join(run_dir, "fault-state")
+                if run_dir
+                else tempfile.mkdtemp(prefix="repro-fault-state-")
+            )
+            fault_plan = fault_plan.with_state_dir(state_dir)
+        print("fault plan armed: %s (%d spec(s), state in %s)"
+              % (args.fault_plan, len(fault_plan.specs), fault_plan.state_dir))
     server = None
     if args.metrics_port is not None:
         server = start_metrics_server(args.metrics_port)
@@ -164,6 +210,11 @@ def cmd_synth_all(args):
             "serving metrics on http://127.0.0.1:%d/metrics"
             % server.server_address[1]
         )
+    if run_meta_path is not None:
+        os.makedirs(run_dir, exist_ok=True)
+        with open(run_meta_path, "w", encoding="utf-8") as handle:
+            json.dump({"instrs": names}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     design = build_core()
     tool = Rtl2MuPath(design, _default_provider(design.config.xlen))
     engine = JobScheduler(
@@ -173,6 +224,12 @@ def cmd_synth_all(args):
             trace_path=args.trace,
             timeout_seconds=args.timeout,
             max_attempts=args.max_attempts,
+            keep_going=args.keep_going,
+            max_rss_mb=args.max_rss_mb,
+            backoff_seconds=args.backoff,
+            fault_plan=fault_plan,
+            run_dir=run_dir,
+            resume=resume,
         )
     )
     try:
@@ -192,8 +249,14 @@ def cmd_synth_all(args):
                 handle.write(get_registry().to_prometheus())
         if server is not None:
             server.shutdown()
+    failed = []
     for name in names:
         result = results[name]
+        if result is None:  # a --keep-going run degraded this job
+            failed.append(name)
+            print("%-6s FAILED (see telemetry; job degraded or quarantined)"
+                  % name)
+            continue
         print(
             "%-6s %d uPATH families, %d concrete paths, %d decision sources%s"
             % (
@@ -211,7 +274,7 @@ def cmd_synth_all(args):
     if not manifest.reconciles(tool.stats):
         print("WARNING: telemetry manifest does not reconcile with stats")
         return 1
-    return 0
+    return 1 if failed else 0
 
 
 def cmd_fuzz(args):
@@ -334,6 +397,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job wall-clock deadline in seconds")
     p.add_argument("--max-attempts", type=int, default=3,
                    help="attempts per job (retries escalate conflict budget)")
+    p.add_argument("--keep-going", action="store_true",
+                   help="report failed jobs and continue instead of aborting")
+    p.add_argument("--run-dir", default=None, metavar="DIR",
+                   help="run directory: checkpoint completed jobs to "
+                        "DIR/checkpoint.jsonl for later --resume")
+    p.add_argument("--resume", default=None, metavar="DIR",
+                   help="resume an interrupted run from DIR's checkpoint "
+                        "(replays completed jobs; executes only the rest)")
+    p.add_argument("--max-rss-mb", type=float, default=None, metavar="MB",
+                   help="per-worker RSS soft ceiling; attempts exceeding it "
+                        "abort as degraded instead of being OOM-killed")
+    p.add_argument("--backoff", type=float, default=0.1, metavar="SECONDS",
+                   help="base delay before rebuilding a broken worker pool "
+                        "(exponential, jittered; default 0.1)")
+    p.add_argument("--fault-plan", default=None, metavar="FILE",
+                   help="arm a JSON fault-injection plan (chaos testing)")
     p.add_argument("--metrics", default=None, metavar="FILE",
                    help="dump Prometheus text-format metrics at run end")
     p.add_argument("--metrics-port", type=int, default=None, metavar="N",

@@ -149,6 +149,9 @@ class Rtl2MuPath:
     # ------------------------------------------------------------ accounting
     def _record(self, name: str, outcome: str, started: float, detail: str = "",
                 engine="enumerative-indexed", depth=None, solver=None):
+        from ..faults import injection_point
+
+        injection_point("solver.check", query=name)
         elapsed = time.perf_counter() - started
         self.stats.record(
             CheckResult(

@@ -25,6 +25,9 @@ This package is the reproduction's systematic answer:
   run-manifest summary that folds back into
   :class:`~repro.mc.stats.PropertyStats`, keeping the SS VII-B3
   accounting exact under parallel + cached execution;
+* :mod:`repro.engine.checkpoint` -- crash-durable ``checkpoint.jsonl``
+  records of completed job reports (including non-cacheable UNDETERMINED
+  results), powering ``synth-all --resume <run-dir>``;
 * :mod:`repro.engine.serialize` -- exact JSON round-trips for
   :class:`~repro.core.rtl2mupath.MuPathResult` and friends, used by the
   proof cache.
@@ -35,6 +38,7 @@ Entry points: :meth:`repro.core.rtl2mupath.Rtl2MuPath.synthesize_all`,
 """
 
 from .cache import ProofCache, canonical_json, content_key, netlist_fingerprint
+from .checkpoint import RunCheckpoint
 from .scheduler import EngineConfig, EngineError, JobScheduler, RunOutcome
 from .specs import (
     DesignSpec,
@@ -65,6 +69,7 @@ __all__ = [
     "infer_provider_spec",
     "synthesis_jobs_for",
     "synthlc_jobs_for",
+    "RunCheckpoint",
     "RunManifest",
     "TelemetryLog",
 ]

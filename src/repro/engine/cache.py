@@ -20,6 +20,15 @@ Two rules keep the cache sound:
 Layout: ``<cache_dir>/<key[:2]>/<key>.json``, written atomically
 (temp file + rename) so concurrent runs sharing a cache directory can
 only ever observe complete entries.
+
+Integrity: every entry carries a SHA-256 checksum over its own canonical
+JSON (minus the checksum field).  A read that fails to parse or whose
+checksum mismatches -- a truncated write surviving a crash, bit rot, a
+partial copy -- is *quarantined*: moved into ``<cache_dir>/quarantine/``
+(never deleted, so the evidence survives for inspection) and reported as
+a plain miss, after which the next run simply recomputes and rewrites
+the entry.  Entries from older format versions are left in place and
+treated as misses; the next ``put`` overwrites them.
 """
 
 from __future__ import annotations
@@ -31,9 +40,18 @@ import tempfile
 import time
 from typing import Any, Dict, Optional
 
+from ..obs.metrics import REGISTRY
+
 __all__ = ["canonical_json", "content_key", "netlist_fingerprint", "ProofCache"]
 
-CACHE_FORMAT_VERSION = 1
+# v2: entries gain a "checksum" field (sha256 of the entry's canonical
+# JSON minus that field); v1 entries read as stale misses, not corruption
+CACHE_FORMAT_VERSION = 2
+
+_QUARANTINED = REGISTRY.counter(
+    "repro_cache_quarantined_total",
+    "corrupt cache entries moved to quarantine, by reason",
+)
 
 
 # ------------------------------------------------------------ canonical hash
@@ -53,6 +71,12 @@ def canonical_json(obj: Any) -> str:
 def content_key(**components) -> str:
     """SHA-256 over the canonical JSON of the named key components."""
     return hashlib.sha256(canonical_json(components).encode("utf-8")).hexdigest()
+
+
+def entry_checksum(entry: Dict[str, Any]) -> str:
+    """SHA-256 of an entry's canonical JSON, excluding its checksum field."""
+    body = {k: v for k, v in entry.items() if k != "checksum"}
+    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
 
 
 def netlist_fingerprint(netlist) -> str:
@@ -103,22 +127,69 @@ def netlist_fingerprint(netlist) -> str:
 class ProofCache:
     """Content-addressed verdict store under ``cache_dir``."""
 
+    #: subdirectory corrupt entries are moved into (never matched by get)
+    QUARANTINE_DIR = "quarantine"
+
     def __init__(self, cache_dir: str):
         self.cache_dir = cache_dir
+        self.quarantine_dir = os.path.join(cache_dir, self.QUARANTINE_DIR)
+        #: corrupt entries this ProofCache instance quarantined
+        self.quarantined_session = 0
         os.makedirs(cache_dir, exist_ok=True)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, key[:2], key + ".json")
 
+    # ------------------------------------------------------------- quarantine
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a damaged entry file aside instead of serving or deleting it."""
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        target = os.path.join(self.quarantine_dir, os.path.basename(path))
+        suffix = 0
+        while os.path.exists(target):
+            suffix += 1
+            target = os.path.join(
+                self.quarantine_dir,
+                "%s.%d" % (os.path.basename(path), suffix),
+            )
+        try:
+            os.replace(path, target)
+        except OSError:
+            return  # a concurrent reader already moved it
+        self.quarantined_session += 1
+        _QUARANTINED.inc(reason=reason)
+
+    def quarantined(self) -> int:
+        """Number of entry files sitting in quarantine (all-time)."""
+        try:
+            return sum(
+                1 for name in os.listdir(self.quarantine_dir)
+                if not name.startswith(".")
+            )
+        except OSError:
+            return 0
+
+    # ------------------------------------------------------------------- get
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Return the entry for ``key``, or None (absent, corrupt, stale
-        format, or not final)."""
+        format, or not final).  Corrupt files -- unparseable JSON or a
+        checksum mismatch -- are moved to ``quarantine/`` on the way out."""
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
+            with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            return None
+        except ValueError:
+            self._quarantine(path, reason="unparseable")
+            return None
+        if not isinstance(entry, dict):
+            self._quarantine(path, reason="unparseable")
             return None
         if entry.get("format") != CACHE_FORMAT_VERSION:
+            return None  # stale format: a miss, overwritten by the next put
+        if entry.get("checksum") != entry_checksum(entry):
+            self._quarantine(path, reason="checksum_mismatch")
             return None
         if not entry.get("final"):
             return None
@@ -134,6 +205,8 @@ class ProofCache:
     ) -> bool:
         """Store a verdict entry; non-final entries are refused (the
         UNDETERMINED rule).  Returns True when an entry was written."""
+        from .. import faults
+
         if not final:
             return False
         entry = {
@@ -145,6 +218,7 @@ class ProofCache:
             "payload": payload,
             "results": results,
         }
+        entry["checksum"] = entry_checksum(entry)
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -160,15 +234,23 @@ class ProofCache:
             except OSError:
                 pass
             raise
+        # chaos hook: lets a fault plan damage exactly the bytes a crash
+        # mid-write would, after the atomic rename made the entry visible
+        faults.injection_point("cache.put", path=path, key=key)
         return True
 
     def __contains__(self, key: str) -> bool:
-        return self.get(key) is not None
+        # existence check only -- get() does the full parse + checksum;
+        # callers that need the entry's contents should call get directly
+        return os.path.isfile(self._path(key))
 
     def entries(self) -> int:
-        """Number of stored entries (for telemetry / tests)."""
+        """Number of stored entries (for telemetry / tests); quarantined
+        files are damage reports, not entries, and are not counted."""
         count = 0
-        for _dirpath, _dirnames, filenames in os.walk(self.cache_dir):
+        for dirpath, dirnames, filenames in os.walk(self.cache_dir):
+            if self.QUARANTINE_DIR in dirnames:
+                dirnames.remove(self.QUARANTINE_DIR)
             count += sum(
                 1 for f in filenames
                 if f.endswith(".json") and not f.startswith(".tmp-")

@@ -16,9 +16,30 @@ across a ``ProcessPoolExecutor``, with:
   the SAT conflict budget), degrading gracefully to the best attempt when
   the budget ladder is exhausted -- the SS VII-B4 soundness/completeness
   trade is then applied by the pipeline, exactly as for a serial run;
-* **exact accounting**: every per-property CheckResult -- fresh or
-  replayed -- folds into the caller's PropertyStats, and the telemetry
-  manifest reconciles against it (SS VII-B3).
+* **crash-resilient dispatch**: a worker death (OOM-kill, segfault,
+  SIGKILL, injected chaos) breaks the process pool; the scheduler
+  catches it, rebuilds the pool with exponential backoff and seeded
+  jitter, and re-dispatches the lost jobs.  Every job lost to a break
+  gains a *poison* count; once a job has been implicated
+  ``poison_limit`` times it runs in an isolation probe (a dedicated
+  single-worker pool) that pinpoints repeat killers -- a probe death is
+  definitive and the job is quarantined as a failed report (the
+  UNDETERMINED-style graceful degradation of SS VII-B4) instead of
+  looping, while innocent bystanders complete their probe and continue;
+* **a per-worker RSS soft ceiling**: with ``max_rss_mb`` set, a watcher
+  thread samples the worker's resident set during each attempt and
+  aborts the attempt (recorded as ``rss_exceeded``) before the kernel's
+  OOM killer would take the whole worker;
+* **checkpoint/resume**: with ``run_dir`` set, every completed job
+  report -- including non-cacheable UNDETERMINED results and degraded
+  failures -- is appended to a periodically-fsynced
+  ``checkpoint.jsonl``; a later run with ``resume=True`` replays those
+  records and executes only the jobs the interrupted run never
+  finished, bit-identically to an uninterrupted run;
+* **exact accounting**: every per-property CheckResult -- fresh,
+  cache-replayed, or checkpoint-resumed -- folds into the caller's
+  PropertyStats, and the telemetry manifest reconciles against it
+  (SS VII-B3).
 
 Job protocol (duck-typed; see :mod:`repro.engine.specs`):
 
@@ -33,35 +54,46 @@ Job protocol (duck-typed; see :mod:`repro.engine.specs`):
 
 ``jobs=1`` (or a single job) runs inline in the calling process -- no
 pool, no pickling -- which is also the deterministic reference mode the
-tests compare the parallel path against.
+tests compare the parallel path against.  Inline mode simulates worker
+deaths (see :class:`repro.faults.InjectedWorkerDeath`) through the same
+poison/quarantine accounting, so the chaos suite can prove the failure
+paths without real process churn.
 """
 
 from __future__ import annotations
 
+import _thread
 import os
+import random
 import signal
+import threading
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from .. import obs
+from .. import faults, obs
+from ..faults import InjectedWorkerDeath
 from ..mc.outcomes import UNDETERMINED
 from ..obs.metrics import REGISTRY
 from ..obs.tracer import SpanCollector, Tracer, replay_into
 from .cache import ProofCache
+from .checkpoint import RunCheckpoint
 from .telemetry import RunManifest, TelemetryLog
 
 __all__ = [
     "EngineConfig",
     "EngineError",
     "JobTimeout",
+    "MemoryBudgetExceeded",
     "AttemptRecord",
     "WorkerReport",
     "RunOutcome",
     "JobScheduler",
+    "current_rss_mb",
 ]
 
 
@@ -77,6 +109,14 @@ _ENGINE_PROPERTIES = REGISTRY.counter(
 _ENGINE_RUN_SECONDS = REGISTRY.histogram(
     "repro_engine_run_seconds", "scheduler run wall-clock seconds"
 )
+_ENGINE_REBUILDS = REGISTRY.counter(
+    "repro_engine_pool_rebuilds_total",
+    "process-pool rebuilds after worker deaths",
+)
+_ENGINE_RSS_ABORTS = REGISTRY.counter(
+    "repro_engine_rss_aborts_total",
+    "attempts aborted by the per-worker RSS soft ceiling",
+)
 
 
 class EngineError(RuntimeError):
@@ -85,6 +125,10 @@ class EngineError(RuntimeError):
 
 class JobTimeout(Exception):
     """A job attempt exceeded its wall-clock deadline."""
+
+
+class MemoryBudgetExceeded(Exception):
+    """A job attempt exceeded the per-worker RSS soft ceiling."""
 
 
 @dataclass
@@ -98,6 +142,15 @@ class EngineConfig:
     cache_dir: Optional[str] = None
     trace_path: Optional[str] = None
     keep_going: bool = False  # map failed jobs to None instead of raising
+    # ---- fault tolerance (see module docs) ----
+    max_rss_mb: Optional[float] = None  # per-worker RSS soft ceiling
+    backoff_seconds: float = 0.1  # base delay between pool rebuilds
+    backoff_max_seconds: float = 5.0  # exponential backoff cap (pre-jitter)
+    poison_limit: int = 2  # pool-break implications before isolation probe
+    seed: int = 0  # seeds the backoff jitter
+    fault_plan: Optional["faults.FaultPlan"] = None  # chaos injection
+    run_dir: Optional[str] = None  # enables checkpoint.jsonl
+    resume: bool = False  # replay the run_dir's prior checkpoint
 
     @property
     def workers(self) -> int:
@@ -118,6 +171,8 @@ class AttemptRecord:
     properties: int = 0
     undetermined: int = 0
     timed_out: bool = False
+    rss_exceeded: bool = False
+    rss_mb: float = 0.0
     error: Optional[str] = None
 
 
@@ -130,6 +185,7 @@ class WorkerReport:
     results: List = field(default_factory=list)
     attempts: List[AttemptRecord] = field(default_factory=list)
     error: Optional[str] = None  # set only when no attempt produced a value
+    quarantined: bool = False  # job repeatedly killed its worker
     spans: List = field(default_factory=list)  # collected (kind, fields) events
 
 
@@ -144,6 +200,66 @@ class RunOutcome:
         return self.results[job_id]
 
 
+# --------------------------------------------------------------- RSS ceiling
+def current_rss_mb() -> Optional[float]:
+    """This process's resident set size in MB, or None when unreadable."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * (os.sysconf("SC_PAGE_SIZE") / (1024.0 * 1024.0))
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        # ru_maxrss is the peak, not the current, RSS -- still a valid
+        # trigger for a soft ceiling (it only ever overshoots earlier)
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    except (ImportError, OSError, ValueError):
+        return None
+
+
+@contextmanager
+def _rss_guard(max_rss_mb: Optional[float], tripped: List[float]):
+    """Abort the body with :class:`MemoryBudgetExceeded` when this
+    process's RSS crosses ``max_rss_mb``.
+
+    A daemon watcher thread samples the RSS and interrupts the main
+    thread (jobs run on the worker's / inline caller's main thread);
+    the interrupt is translated here, and callers additionally check
+    ``tripped`` to classify an interrupt delivered after the body
+    finished.  A no-op when ``max_rss_mb`` is falsy.
+    """
+    if not max_rss_mb:
+        yield
+        return
+    stop = threading.Event()
+
+    def _watch():
+        while not stop.wait(0.02):
+            rss = current_rss_mb()
+            if rss is not None and rss > max_rss_mb:
+                tripped.append(rss)
+                if not stop.is_set():
+                    _thread.interrupt_main()
+                return
+
+    watcher = threading.Thread(target=_watch, name="rss-guard", daemon=True)
+    watcher.start()
+    try:
+        yield
+    except KeyboardInterrupt:
+        if tripped:
+            raise MemoryBudgetExceeded(
+                "attempt RSS %.0f MB exceeded the %.0f MB soft ceiling"
+                % (tripped[0], max_rss_mb)
+            ) from None
+        raise
+    finally:
+        stop.set()
+        watcher.join(timeout=1.0)
+
+
 @contextmanager
 def _deadline(seconds: Optional[float]):
     """Raise :class:`JobTimeout` if the body runs longer than ``seconds``.
@@ -151,6 +267,13 @@ def _deadline(seconds: Optional[float]):
     SIGALRM-based: effective in worker processes and in inline mode (both
     run jobs on the main thread).  A no-op when ``seconds`` is None or the
     platform lacks SIGALRM.
+
+    Nesting-safe: entering records the outer alarm's remaining time and
+    exiting re-arms it minus the time the inner body consumed, so an
+    inline job's deadline no longer clobbers an enclosing one.  (If the
+    outer deadline expires while the inner is armed, the shared handler
+    fires inside the inner body -- the timeout is then attributed to the
+    inner scope, but it is never lost.)
     """
     if not seconds or not hasattr(signal, "SIGALRM"):
         yield
@@ -159,13 +282,19 @@ def _deadline(seconds: Optional[float]):
     def _on_alarm(signum, frame):
         raise JobTimeout()
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    outer_remaining, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    started = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if outer_remaining:
+            elapsed = time.monotonic() - started
+            signal.setitimer(
+                signal.ITIMER_REAL, max(outer_remaining - elapsed, 1e-6)
+            )
 
 
 def _run_job_with_retries(
@@ -174,6 +303,9 @@ def _run_job_with_retries(
     timeout_seconds: Optional[float],
     escalation_factor: int,
     collect_spans: bool = False,
+    fault_plan=None,
+    job_seq: Optional[int] = None,
+    max_rss_mb: Optional[float] = None,
 ) -> WorkerReport:
     """Execute one job with the deadline + escalation policy.
 
@@ -185,22 +317,62 @@ def _run_job_with_retries(
     in the report for the parent to replay into its run trace.  The
     inline (jobs=1) path uses the identical mechanism, which is what
     makes serial and parallel runs produce the same span set.
+
+    With ``fault_plan`` the plan is re-armed here, scoped to this job
+    and its dispatch sequence number, so worker-side injection points
+    (``worker.job_start``, ``worker.attempt``, ``job.execute``,
+    ``solver.check``) fire deterministically.
     """
     report = WorkerReport(job_id=job.job_id)
+    armed = previous_armed = None
+    if fault_plan is not None:
+        armed = faults.arm(fault_plan, job=job.job_id, job_seq=job_seq)
+        previous_armed = faults.activate(armed)
     collector = tracer = None
     if collect_spans:
         collector = SpanCollector()
         tracer = Tracer(sink=collector)
         obs.activate(tracer)
     try:
+        faults.injection_point("worker.job_start", job=job.job_id)
         _attempt_loop(
-            job, report, max_attempts, timeout_seconds, escalation_factor
+            job, report, max_attempts, timeout_seconds, escalation_factor,
+            max_rss_mb=max_rss_mb, collector=collector,
         )
     finally:
         if tracer is not None:
             obs.deactivate(tracer)
             report.spans = collector.records
+        if armed is not None:
+            faults.deactivate(previous_armed)
     return report
+
+
+def _scrub_span_accounting(collector, start: int, end: Optional[int] = None):
+    """Demote per-property accounting attrs on span records in [start:end).
+
+    An attempt whose results never reach the job's ``PropertyStats`` --
+    it timed out, crashed and was retried, or was superseded by an
+    escalated retry -- must not leave ``properties``/``check_seconds``
+    attributes in the trace: the profile reconciliation identity sums
+    those attrs across all spans and equates them with the stats
+    accumulator's ``total_time``.  The values stay visible under
+    ``discarded_*`` names so traces still show what the doomed attempt
+    cost.
+    """
+    if collector is None:
+        return
+    records = collector.records
+    stop = len(records) if end is None else end
+    for kind, fields in records[start:stop]:
+        if kind != "span_end":
+            continue
+        attrs = fields.get("attrs")
+        if not attrs:
+            continue
+        for key in ("properties", "check_seconds"):
+            if key in attrs:
+                attrs["discarded_" + key] = attrs.pop(key)
 
 
 def _attempt_loop(
@@ -209,15 +381,23 @@ def _attempt_loop(
     max_attempts: int,
     timeout_seconds: Optional[float],
     escalation_factor: int,
+    max_rss_mb: Optional[float] = None,
+    collector=None,
 ) -> None:
     best: Optional[Tuple[Any, List]] = None
+    best_range: Optional[Tuple[int, int]] = None
     last_error = None
     for attempt in range(max(1, max_attempts)):
         active = job if attempt == 0 else job.escalated(attempt, escalation_factor)
         started = time.perf_counter()
+        rss_trip: List[float] = []
+        mark = len(collector.records) if collector is not None else 0
         try:
+            faults.injection_point(
+                "worker.attempt", job=job.job_id, attempt=attempt
+            )
             with obs.span("job.attempt", job=job.job_id, attempt=attempt):
-                with _deadline(timeout_seconds):
+                with _rss_guard(max_rss_mb, rss_trip), _deadline(timeout_seconds):
                     value, results = active.execute()
         except JobTimeout:
             report.attempts.append(
@@ -231,7 +411,28 @@ def _attempt_loop(
                 attempt,
                 timeout_seconds or 0.0,
             )
+            _scrub_span_accounting(collector, mark)
             continue
+        except (MemoryBudgetExceeded, KeyboardInterrupt) as exc:
+            if isinstance(exc, KeyboardInterrupt) and not rss_trip:
+                raise  # a real interrupt, not a late RSS-watcher trip
+            report.attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    seconds=time.perf_counter() - started,
+                    rss_exceeded=True,
+                    rss_mb=round(rss_trip[0], 3) if rss_trip else 0.0,
+                    error=str(exc) or "RSS soft ceiling exceeded",
+                )
+            )
+            last_error = "attempt %d exceeded the %s MB RSS soft ceiling" % (
+                attempt,
+                max_rss_mb,
+            )
+            _scrub_span_accounting(collector, mark)
+            continue
+        except InjectedWorkerDeath:
+            raise  # simulated worker kill: handled by the dispatcher
         except Exception:
             trace = traceback.format_exc()
             report.attempts.append(
@@ -242,6 +443,7 @@ def _attempt_loop(
                 )
             )
             last_error = trace
+            _scrub_span_accounting(collector, mark)
             continue
         undetermined = sum(1 for r in results if r.outcome == UNDETERMINED)
         report.attempts.append(
@@ -252,7 +454,13 @@ def _attempt_loop(
                 undetermined=undetermined,
             )
         )
+        if best_range is not None:
+            # the escalated retry supersedes the earlier result: only one
+            # attempt's CheckResults reach the stats, so only one may keep
+            # its accounting attrs
+            _scrub_span_accounting(collector, best_range[0], best_range[1])
         best = (value, results)
+        best_range = (mark, len(collector.records) if collector is not None else 0)
         if undetermined == 0:
             break
         # UNDETERMINED outcomes present: retry with an escalated budget
@@ -289,6 +497,8 @@ class JobScheduler:
         log = telemetry if telemetry is not None else TelemetryLog(cfg.trace_path)
         manifest = RunManifest(workers=cfg.workers)
         cache = ProofCache(cfg.cache_dir) if cfg.cache_dir else None
+        checkpoint = RunCheckpoint(cfg.run_dir) if cfg.run_dir else None
+        resumed = checkpoint.open(resume=cfg.resume) if checkpoint else {}
         results_by_id: Dict[str, Any] = {}
         started = time.perf_counter()
         run_tracer = run_span_ctx = run_span = None
@@ -299,6 +509,11 @@ class JobScheduler:
                 "engine.run", jobs=len(jobs), workers=cfg.workers
             )
             run_span = run_span_ctx.__enter__()
+        # parent-side arming covers parent points (cache.put corruption);
+        # workers re-arm the plan per job for worker/solver points
+        previous_armed = None
+        if cfg.fault_plan is not None:
+            previous_armed = faults.activate(faults.arm(cfg.fault_plan))
         try:
             log.event(
                 "run_start",
@@ -307,12 +522,35 @@ class JobScheduler:
                 cache_dir=cfg.cache_dir,
                 max_attempts=cfg.max_attempts,
                 timeout_seconds=cfg.timeout_seconds,
+                run_dir=cfg.run_dir,
+                resume=bool(cfg.resume),
             )
-            pending: List[Tuple[Any, Optional[str]]] = []
-            for job in jobs:
+            failures: List[str] = []
+            pending: List[Tuple[int, Any, Optional[str]]] = []
+            for seq, job in enumerate(jobs):
                 manifest.jobs_total += 1
-                key = job.cache_key() if cache is not None else None
-                if key is not None:
+                key = (
+                    job.cache_key()
+                    if (cache is not None or checkpoint is not None)
+                    else None
+                )
+                record = resumed.get(job.job_id)
+                if record is not None:
+                    if record.get("key") == key:
+                        self._replay_checkpoint(
+                            job, record, stats, manifest, log,
+                            results_by_id, failures,
+                        )
+                        continue
+                    # the job's content changed since the checkpoint was
+                    # written (netlist / config edit): the record is stale
+                    log.event(
+                        "resume_stale",
+                        job=job.job_id,
+                        key=key,
+                        recorded_key=record.get("key"),
+                    )
+                if cache is not None and key is not None:
                     entry = cache.get(key)
                     if entry is not None:
                         self._replay_hit(
@@ -321,15 +559,17 @@ class JobScheduler:
                         continue
                     manifest.cache_misses += 1
                     log.event("cache_miss", job=job.job_id, key=key)
-                pending.append((job, key))
+                pending.append((seq, job, key))
 
-            failures: List[str] = []
             run_span_id = run_span.span_id if run_span is not None else None
-            for (job, key), report in zip(pending, self._execute(pending, log)):
+            for job, key, report in self._execute_iter(pending, log, manifest):
                 self._fold_report(
                     job, key, report, cache, stats, manifest, log,
                     results_by_id, failures, run_span_id=run_span_id,
+                    checkpoint=checkpoint,
                 )
+            if cache is not None:
+                manifest.cache_quarantined = cache.quarantined_session
             manifest.wall_seconds = time.perf_counter() - started
             finish_fields: Dict[str, Any] = {"manifest": manifest.to_dict()}
             if stats is not None:
@@ -346,6 +586,10 @@ class JobScheduler:
                 )
         finally:
             self.last_manifest = manifest
+            if cfg.fault_plan is not None:
+                faults.deactivate(previous_armed)
+            if checkpoint is not None:
+                checkpoint.close()
             if run_span_ctx is not None:
                 run_span_ctx.__exit__(None, None, None)
                 obs.deactivate(run_tracer)
@@ -360,10 +604,15 @@ class JobScheduler:
     @staticmethod
     def _note_run_metrics(manifest: RunManifest) -> None:
         _ENGINE_JOBS.inc(manifest.jobs_cached, disposition="cached")
+        _ENGINE_JOBS.inc(manifest.jobs_resumed, disposition="resumed")
         _ENGINE_JOBS.inc(manifest.jobs_executed, disposition="executed")
         _ENGINE_JOBS.inc(manifest.jobs_failed, disposition="failed")
+        _ENGINE_JOBS.inc(manifest.jobs_quarantined, disposition="quarantined")
         _ENGINE_PROPERTIES.inc(manifest.properties_evaluated, source="fresh")
         _ENGINE_PROPERTIES.inc(manifest.properties_replayed, source="replayed")
+        _ENGINE_PROPERTIES.inc(manifest.properties_resumed, source="resumed")
+        _ENGINE_REBUILDS.inc(manifest.pool_rebuilds)
+        _ENGINE_RSS_ABORTS.inc(manifest.rss_aborts)
         _ENGINE_RUN_SECONDS.observe(manifest.wall_seconds)
 
     # ------------------------------------------------------------ internals
@@ -389,31 +638,198 @@ class JobScheduler:
         )
         results_by_id[job.job_id] = value
 
-    def _execute(self, pending, log) -> List[WorkerReport]:
+    def _replay_checkpoint(
+        self, job, record, stats, manifest, log, results_by_id, failures
+    ):
+        """Fold one resumed checkpoint record exactly like a live report."""
+        from ..mc.outcomes import CheckResult
+
+        replayed = [CheckResult.from_dict(d) for d in record.get("results") or []]
+        error = record.get("error")
+        if error is None:
+            decode = getattr(job, "decode_value", None)
+            payload = record.get("payload")
+            value = decode(payload) if decode is not None else payload
+        else:
+            value = None
+        if stats is not None:
+            for result in replayed:
+                stats.record(result)
+        manifest.jobs_resumed += 1
+        manifest.note_results(replayed, resumed=True)
+        if error is not None:
+            manifest.jobs_failed += 1
+            if record.get("quarantined"):
+                manifest.jobs_quarantined += 1
+            failures.append("%s: %s (resumed)" % (job.job_id, error))
+        # like cache_hit's replayed_seconds: resumed verdicts ran before
+        # this trace began, so the profile reconciles them from this event
+        log.event(
+            "resume_replay",
+            job=job.job_id,
+            key=record.get("key"),
+            properties=len(replayed),
+            error=error,
+            replayed_seconds=round(sum(r.time_seconds for r in replayed), 9),
+        )
+        results_by_id[job.job_id] = value
+
+    # ------------------------------------------------------------- dispatch
+    def _worker_kwargs(self, log) -> Dict[str, Any]:
+        cfg = self.config
+        return dict(
+            max_attempts=cfg.max_attempts,
+            timeout_seconds=cfg.timeout_seconds,
+            escalation_factor=cfg.escalation_factor,
+            collect_spans=log.enabled,
+            fault_plan=cfg.fault_plan,
+            max_rss_mb=cfg.max_rss_mb,
+        )
+
+    def _execute_iter(self, pending, log, manifest):
+        """Yield ``(job, key, report)`` as each pending job completes."""
         cfg = self.config
         if not pending:
-            return []
-        for job, _key in pending:
+            return
+        for _seq, job, _key in pending:
             log.event("job_start", job=job.job_id)
-        args = (
-            cfg.max_attempts,
-            cfg.timeout_seconds,
-            cfg.escalation_factor,
-            log.enabled,
-        )
         workers = min(cfg.workers, len(pending))
         if workers <= 1:
-            return [_run_job_with_retries(job, *args) for job, _key in pending]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_job_with_retries, job, *args)
-                for job, _key in pending
-            ]
-            return [future.result() for future in futures]
+            yield from self._execute_inline(pending, log, manifest)
+        else:
+            yield from self._execute_pool(pending, workers, log, manifest)
 
+    def _execute_inline(self, pending, log, manifest):
+        """Serial in-process dispatch, with simulated-death resilience."""
+        cfg = self.config
+        kwargs = self._worker_kwargs(log)
+        rng = random.Random(cfg.seed)
+        poison: Dict[str, int] = {}
+        queue = list(pending)
+        while queue:
+            seq, job, key = queue.pop(0)
+            try:
+                report = _run_job_with_retries(job, job_seq=seq, **kwargs)
+            except InjectedWorkerDeath as exc:
+                count = poison[job.job_id] = poison.get(job.job_id, 0) + 1
+                log.event(
+                    "worker_death",
+                    job=job.job_id,
+                    poison=count,
+                    simulated=True,
+                    error=str(exc),
+                )
+                if count > cfg.poison_limit:
+                    yield job, key, self._quarantined_report(job, count)
+                    continue
+                manifest.pool_rebuilds += 1
+                self._backoff(manifest.pool_rebuilds, rng, log)
+                queue.insert(0, (seq, job, key))
+                continue
+            yield job, key, report
+
+    def _execute_pool(self, pending, workers, log, manifest):
+        """Pool dispatch surviving worker deaths (see module docs)."""
+        cfg = self.config
+        kwargs = self._worker_kwargs(log)
+        rng = random.Random(cfg.seed)
+        poison: Dict[str, int] = {}
+        remaining = list(pending)
+        while remaining:
+            suspects = [
+                entry for entry in remaining
+                if poison.get(entry[1].job_id, 0) >= cfg.poison_limit
+            ]
+            if suspects:
+                # isolation probe: a repeatedly implicated job runs alone
+                # in a fresh single-worker pool, so a death is definitive
+                # (and an innocent bystander clears its name)
+                entry = suspects[0]
+                remaining.remove(entry)
+                seq, job, key = entry
+                log.event(
+                    "isolation_probe", job=job.job_id, poison=poison[job.job_id]
+                )
+                report = None
+                with ProcessPoolExecutor(max_workers=1) as pool:
+                    future = pool.submit(
+                        _run_job_with_retries, job, job_seq=seq, **kwargs
+                    )
+                    try:
+                        report = future.result()
+                    except (BrokenProcessPool, CancelledError):
+                        pass
+                if report is None:
+                    deaths = poison[job.job_id] + 1
+                    log.event(
+                        "worker_death", job=job.job_id, poison=deaths, probe=True
+                    )
+                    yield job, key, self._quarantined_report(job, deaths)
+                else:
+                    poison.pop(job.job_id, None)
+                    yield job, key, report
+                continue
+            lost: List[Tuple[int, Any, Optional[str]]] = []
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(remaining))
+            ) as pool:
+                submitted = [
+                    (
+                        pool.submit(
+                            _run_job_with_retries, job, job_seq=seq, **kwargs
+                        ),
+                        seq,
+                        job,
+                        key,
+                    )
+                    for seq, job, key in remaining
+                ]
+                for future, seq, job, key in submitted:
+                    try:
+                        report = future.result()
+                    except (BrokenProcessPool, CancelledError):
+                        # a worker died; every unfinished job is implicated
+                        # (the pool cannot name the actual killer)
+                        lost.append((seq, job, key))
+                        continue
+                    yield job, key, report
+            remaining = lost
+            if lost:
+                manifest.pool_rebuilds += 1
+                for _seq, job, _key in lost:
+                    count = poison[job.job_id] = poison.get(job.job_id, 0) + 1
+                    log.event("job_lost", job=job.job_id, poison=count)
+                self._backoff(manifest.pool_rebuilds, rng, log)
+
+    @staticmethod
+    def _quarantined_report(job, deaths: int) -> WorkerReport:
+        return WorkerReport(
+            job_id=job.job_id,
+            error="quarantined: job killed its worker %d time(s)" % deaths,
+            quarantined=True,
+        )
+
+    def _backoff(self, rebuilds: int, rng: random.Random, log) -> float:
+        """Exponential backoff with seeded jitter before a pool rebuild."""
+        cfg = self.config
+        if cfg.backoff_seconds <= 0:
+            log.event("pool_rebuild", rebuilds=rebuilds, backoff_seconds=0.0)
+            return 0.0
+        delay = min(
+            cfg.backoff_seconds * (2 ** max(0, rebuilds - 1)),
+            cfg.backoff_max_seconds,
+        )
+        delay *= 0.5 + rng.random()  # jitter in [0.5x, 1.5x), seeded
+        log.event(
+            "pool_rebuild", rebuilds=rebuilds, backoff_seconds=round(delay, 6)
+        )
+        time.sleep(delay)
+        return delay
+
+    # ----------------------------------------------------------------- fold
     def _fold_report(
         self, job, key, report, cache, stats, manifest, log, results_by_id,
-        failures, run_span_id=None,
+        failures, run_span_id=None, checkpoint=None,
     ):
         if report.spans:
             # worker (or inline collector) span events, re-rooted under the
@@ -422,6 +838,7 @@ class JobScheduler:
         manifest.attempts += len(report.attempts)
         manifest.retries += max(0, len(report.attempts) - 1)
         manifest.timeouts += sum(1 for a in report.attempts if a.timed_out)
+        manifest.rss_aborts += sum(1 for a in report.attempts if a.rss_exceeded)
         for record in report.attempts:
             log.event(
                 "job_attempt",
@@ -431,13 +848,25 @@ class JobScheduler:
                 properties=record.properties,
                 undetermined=record.undetermined,
                 timed_out=record.timed_out,
+                rss_exceeded=record.rss_exceeded,
                 error=record.error,
             )
         if report.error is not None:
             manifest.jobs_failed += 1
+            if report.quarantined:
+                manifest.jobs_quarantined += 1
+                log.event(
+                    "job_quarantined", job=report.job_id, error=report.error
+                )
             log.event("job_failed", job=report.job_id, error=report.error)
             failures.append("%s: %s" % (report.job_id, report.error))
             results_by_id[job.job_id] = None
+            if checkpoint is not None:
+                checkpoint.record_job(
+                    job.job_id, key, None, [],
+                    [asdict(a) for a in report.attempts],
+                    error=report.error, quarantined=report.quarantined,
+                )
             return
         if stats is not None:
             for result in report.results:
@@ -455,6 +884,16 @@ class JobScheduler:
             retries=max(0, len(report.attempts) - 1),
             seconds=round(sum(a.seconds for a in report.attempts), 6),
         )
+        if checkpoint is not None:
+            from .serialize import check_results_to_dicts
+
+            encode = getattr(job, "encode_value", None)
+            payload = encode(report.value) if encode else report.value
+            checkpoint.record_job(
+                job.job_id, key, payload,
+                check_results_to_dicts(report.results),
+                [asdict(a) for a in report.attempts],
+            )
         if cache is not None and key is not None:
             undetermined = histogram.get(UNDETERMINED, 0)
             final = undetermined == 0 and job.value_is_final(report.value)

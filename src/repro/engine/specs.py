@@ -195,8 +195,10 @@ class SynthesisJob:
 
     def execute(self):
         from ..core.rtl2mupath import Rtl2MuPath, Rtl2MuPathConfig
+        from ..faults import injection_point
         from ..mc.stats import PropertyStats
 
+        injection_point("job.execute", job=self.job_id)
         design = self.design_spec.build()
         provider = self.provider_spec.build()
         stats = PropertyStats(label=self.job_id)
@@ -309,8 +311,10 @@ class SynthLCJob:
 
     def execute(self):
         from ..core.decisions import Decision
+        from ..faults import injection_point
         from ..mc.stats import PropertyStats
 
+        injection_point("job.execute", job=self.job_id)
         tool = _built_synthlc(
             self.design_spec,
             self.provider_spec,

@@ -1,0 +1,54 @@
+"""repro.faults: deterministic fault injection for chaos testing.
+
+The paper's verification campaign (SS VII) is a days-long run of
+thousands of model-checking queries where solver timeouts, memory
+exhaustion, and tool crashes are routine operating conditions, not
+exceptional ones -- RTL2MuPATH folds bounded-resource UNDETERMINED
+verdicts into its verdict lattice for exactly this reason.  The engine
+therefore has to *prove* its failure paths, and this package provides
+the controlled failures to prove them with:
+
+* :class:`FaultSpec` / :class:`FaultPlan` -- a declarative, seeded,
+  JSON-serializable description of which faults fire where: kill the
+  worker at job N, raise inside the solver, delay an attempt, corrupt a
+  proof-cache entry as it is written, or spike the worker's memory;
+* :func:`injection_point` -- the hook the scheduler, job specs, solver
+  portfolio, and proof cache call at their fault-injectable sites.  With
+  no plan active it is a single ``None`` check; with a plan armed, the
+  matching specs fire deterministically;
+* :func:`arm` / :func:`activate` / :func:`deactivate` -- plan
+  activation, scoped per process (the scheduler arms the plan in the
+  parent for cache-side points and re-arms it inside each worker with
+  the job's dispatch sequence number for worker/solver-side points).
+
+Firing counts can be persisted under ``FaultPlan.state_dir`` so a
+"kill the worker once" spec stays fired across the very worker
+re-spawns it causes (a fresh forked worker would otherwise reset an
+in-memory counter and kill forever).
+
+Every firing increments the ``repro_faults_injected_total`` metric (by
+kind and point), so injected chaos is visible in ``repro profile`` and
+the metrics exposition exactly like organic failures.
+"""
+
+from .injector import (
+    InjectedFault,
+    InjectedWorkerDeath,
+    activate,
+    arm,
+    deactivate,
+    injection_point,
+)
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedWorkerDeath",
+    "activate",
+    "arm",
+    "deactivate",
+    "injection_point",
+]

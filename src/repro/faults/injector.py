@@ -1,0 +1,197 @@
+"""The active fault injector: arming, matching, and firing.
+
+Injection points are free function calls scattered through the engine
+and solver stack::
+
+    from ..faults import injection_point
+    injection_point("worker.job_start", job=job.job_id)
+
+With no plan armed the call is a module-global ``None`` check.  Arming
+(:func:`arm` + :func:`activate`) installs an :class:`ArmedPlan` that
+counts visits per spec and fires matching ones.  Activation nests --
+``activate`` returns the previously active plan so a worker can re-arm
+the plan with its own job scope and restore the parent's arming after.
+
+Points currently wired in:
+
+* ``worker.job_start`` -- :func:`repro.engine.scheduler._run_job_with_retries`,
+  once per dispatched job, inside the worker (or inline);
+* ``worker.attempt`` -- same site, once per attempt;
+* ``job.execute`` -- :meth:`repro.engine.specs.SynthesisJob.execute` /
+  :meth:`~repro.engine.specs.SynthLCJob.execute`;
+* ``solver.check`` -- once per property query, at every per-property
+  boundary: :meth:`repro.mc.portfolio.PortfolioEngine.check` plus the
+  synthesis pipelines' property-accounting sites
+  (``Rtl2MuPath._record`` / ``SynthLC._record``);
+* ``cache.put`` -- :meth:`repro.engine.cache.ProofCache.put`, after the
+  entry file lands on disk (``path=`` names it, so ``corrupt_cache``
+  faults can damage exactly the bytes a real partial write would).
+
+Firing counts are persisted under ``FaultPlan.state_dir`` when set
+(one append-only tally file per spec), which is what lets a
+``kill_worker`` spec with ``times=1`` stay fired in the replacement
+worker that only exists because the spec fired.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from ..obs.metrics import REGISTRY
+from .plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "InjectedFault",
+    "InjectedWorkerDeath",
+    "ArmedPlan",
+    "arm",
+    "activate",
+    "deactivate",
+    "injection_point",
+]
+
+_INJECTED = REGISTRY.counter(
+    "repro_faults_injected_total", "fault-injector firings, by kind and point"
+)
+
+
+class InjectedFault(RuntimeError):
+    """An exception deliberately raised by the fault injector."""
+
+
+class InjectedWorkerDeath(InjectedFault):
+    """Inline-mode stand-in for a hard worker kill.
+
+    In a real worker process a ``kill_worker`` fault calls
+    ``os._exit(137)`` -- the parent sees a broken pool, exactly like a
+    kernel OOM-kill.  Inline (jobs=1) execution has no worker to kill,
+    so the injector raises this instead and the scheduler applies the
+    same poison-counter accounting to it.
+    """
+
+
+class ArmedPlan:
+    """A plan plus mutable matching state, scoped to one activation."""
+
+    def __init__(self, plan: FaultPlan, job: Optional[str] = None,
+                 job_seq: Optional[int] = None):
+        self.plan = plan
+        self.job = job
+        self.job_seq = job_seq
+        self._hits: Dict[int, int] = {}
+        self._fired_mem: Dict[int, int] = {}
+        self.ballast: List[bytearray] = []  # memory_spike allocations
+
+    # -------------------------------------------------------- firing budget
+    def _state_path(self, index: int) -> str:
+        return os.path.join(self.plan.state_dir, "fired-%03d" % index)
+
+    def _fired(self, index: int) -> int:
+        if self.plan.state_dir is None:
+            return self._fired_mem.get(index, 0)
+        try:
+            return os.path.getsize(self._state_path(index))
+        except OSError:
+            return 0
+
+    def _record_firing(self, index: int) -> None:
+        if self.plan.state_dir is None:
+            self._fired_mem[index] = self._fired_mem.get(index, 0) + 1
+            return
+        os.makedirs(self.plan.state_dir, exist_ok=True)
+        # one byte per firing, O_APPEND so concurrent workers never lose
+        # a tally; the count is simply the file size
+        fd = os.open(
+            self._state_path(index), os.O_WRONLY | os.O_CREAT | os.O_APPEND
+        )
+        try:
+            os.write(fd, b"!")
+        finally:
+            os.close(fd)
+
+    # --------------------------------------------------------------- visits
+    def visit(self, point: str, job: Optional[str], context: Dict[str, Any]):
+        job = job if job is not None else self.job
+        for index, spec in enumerate(self.plan.specs):
+            if not spec.matches(point, job, self.job_seq):
+                continue
+            self._hits[index] = self._hits.get(index, 0) + 1
+            if self._hits[index] < spec.at_hit:
+                continue
+            if self._fired(index) >= spec.times:
+                continue
+            self._record_firing(index)
+            _INJECTED.inc(kind=spec.kind, point=point)
+            self._fire(spec, context)
+
+    def _fire(self, spec: FaultSpec, context: Dict[str, Any]):
+        if spec.kind == "raise":
+            raise InjectedFault(spec.message)
+        if spec.kind == "delay":
+            time.sleep(spec.seconds)
+            return
+        if spec.kind == "memory_spike":
+            # held until release() so an RSS watcher has time to see it
+            self.ballast.append(bytearray(spec.mb * 1024 * 1024))
+            if spec.seconds:
+                time.sleep(spec.seconds)
+            return
+        if spec.kind == "corrupt_cache":
+            self._corrupt(context.get("path"))
+            return
+        if spec.kind == "kill_worker":
+            import multiprocessing
+
+            if multiprocessing.parent_process() is not None:
+                os._exit(137)  # the exit status of a kernel OOM-kill
+            raise InjectedWorkerDeath(spec.message)
+
+    @staticmethod
+    def _corrupt(path: Optional[str]) -> None:
+        """Truncate an on-disk entry to half its bytes -- the shape a
+        crash mid-write (or disk-full) leaves behind."""
+        if not path or not os.path.isfile(path):
+            return
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+
+    def release(self) -> None:
+        self.ballast.clear()
+
+
+# ------------------------------------------------------------- global scope
+_ACTIVE: Optional[ArmedPlan] = None
+
+
+def arm(plan: FaultPlan, job: Optional[str] = None,
+        job_seq: Optional[int] = None) -> ArmedPlan:
+    """Bind a plan to a scope (optionally one job) without activating it."""
+    return ArmedPlan(plan, job=job, job_seq=job_seq)
+
+
+def activate(armed: Optional[ArmedPlan]) -> Optional[ArmedPlan]:
+    """Install ``armed`` as the process's active plan; returns the
+    previously active one so callers can nest and restore."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = armed
+    return previous
+
+
+def deactivate(previous: Optional[ArmedPlan] = None) -> None:
+    """Release the active plan's ballast and restore ``previous``."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.release()
+    _ACTIVE = previous
+
+
+def injection_point(point: str, job: Optional[str] = None, **context: Any):
+    """Fire any armed faults matching ``point``; a no-op when none armed."""
+    armed = _ACTIVE
+    if armed is None:
+        return
+    armed.visit(point, job, context)

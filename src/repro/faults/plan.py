@@ -1,0 +1,109 @@
+"""Declarative fault plans: which failure fires where, deterministically.
+
+A :class:`FaultPlan` is a seed plus an ordered tuple of
+:class:`FaultSpec` entries.  Specs are matched at injection points (see
+:mod:`repro.faults.injector`) by point name, optionally narrowed to one
+job (``job`` matches the job id exactly, ``at_job`` matches the
+scheduler-assigned dispatch sequence number), and fire on the
+``at_hit``-th matching visit, at most ``times`` times.
+
+Plans are plain JSON (``to_dict`` / ``from_dict`` / ``load`` / ``save``)
+so a chaos campaign is a committed artifact: the same plan file replays
+the same failures in CI, in tests, and at the command line
+(``synth-all --fault-plan plan.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+
+#: the failure modes the injector knows how to fire
+FAULT_KINDS = (
+    "kill_worker",   # os._exit(137) in a worker (simulated kill inline)
+    "raise",         # raise InjectedFault at the point
+    "delay",         # sleep `seconds` at the point
+    "corrupt_cache", # truncate the cache entry named by the point context
+    "memory_spike",  # allocate `mb` MB of ballast (held while armed)
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what fires (kind), where (point), and when (matching)."""
+
+    kind: str                    # one of FAULT_KINDS
+    point: str                   # injection point name, e.g. "worker.job_start"
+    job: Optional[str] = None    # fire only for this job id
+    at_job: Optional[int] = None # fire only at this dispatch sequence number
+    at_hit: int = 1              # fire from the Nth matching visit (1-based)
+    times: int = 1               # total firings before the spec disarms
+    seconds: float = 0.0         # delay duration / spike hold time
+    mb: int = 0                  # memory-spike ballast size
+    message: str = "injected fault"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                "unknown fault kind %r (expected one of %s)"
+                % (self.kind, ", ".join(FAULT_KINDS))
+            )
+
+    def matches(self, point: str, job: Optional[str],
+                job_seq: Optional[int]) -> bool:
+        if self.point != point:
+            return False
+        if self.job is not None and self.job != job:
+            return False
+        if self.at_job is not None and self.at_job != job_seq:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable set of fault specs plus firing-state home.
+
+    ``state_dir``, when set, persists per-spec firing counts to disk so
+    limits like ``times=1`` survive the process deaths the plan itself
+    causes (a re-spawned worker must see that its killer already fired).
+    """
+
+    seed: int = 0
+    state_dir: Optional[str] = None
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def with_state_dir(self, state_dir: str) -> "FaultPlan":
+        return replace(self, state_dir=state_dir)
+
+    # ------------------------------------------------------------- serialize
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "state_dir": self.state_dir,
+            "specs": [
+                {k: v for k, v in asdict(spec).items()}
+                for spec in self.specs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            state_dir=payload.get("state_dir"),
+            specs=tuple(FaultSpec(**spec) for spec in payload.get("specs", ())),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

@@ -422,6 +422,50 @@ class TestContentHashing:
             assert mupath_result_from_dict(payload) == results[name], name
 
 
+# --------------------------------------------------------- deadline nesting
+class TestDeadlineNesting:
+    """Regression tests: ``_deadline`` must restore an enclosing alarm.
+
+    The original implementation armed SIGALRM unconditionally and
+    cancelled it on exit, so an inner deadline silently disarmed an
+    outer one -- an inline job with its own timeout would erase the
+    enclosing run's deadline.
+    """
+
+    def test_outer_deadline_survives_inner_scope(self):
+        from repro.engine.scheduler import JobTimeout, _deadline
+
+        with pytest.raises(JobTimeout):
+            with _deadline(0.3):
+                with _deadline(10.0):
+                    time.sleep(0.05)  # inner exits cleanly
+                # the outer alarm must be re-armed with its remaining time
+                time.sleep(5.0)  # the outer ~0.25s fires here
+
+    def test_inner_timeout_leaves_outer_armed(self):
+        import signal as _signal
+
+        from repro.engine.scheduler import JobTimeout, _deadline
+
+        with _deadline(30.0):
+            with pytest.raises(JobTimeout):
+                with _deadline(0.05):
+                    time.sleep(5.0)
+            remaining = _signal.getitimer(_signal.ITIMER_REAL)[0]
+            assert 0.0 < remaining <= 30.0
+        # and the outermost exit cancels the alarm entirely
+        assert _signal.getitimer(_signal.ITIMER_REAL)[0] == 0.0
+
+    def test_single_deadline_cancels_on_clean_exit(self):
+        import signal as _signal
+
+        from repro.engine.scheduler import _deadline
+
+        with _deadline(30.0):
+            pass
+        assert _signal.getitimer(_signal.ITIMER_REAL)[0] == 0.0
+
+
 # ------------------------------------------------------------ stats satellites
 class TestPropertyStatsSatellites:
     def test_merged_label_skips_empty_sides(self):
