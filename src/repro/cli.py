@@ -39,7 +39,15 @@ Commands:
     (see :mod:`repro.faults`) for chaos testing;
   * ``--metrics FILE`` -- dump the process metrics registry (Prometheus
     text exposition) at run end; ``--metrics-port N`` serves the same
-    registry live on ``127.0.0.1:N/metrics`` for the run's duration.
+    registry live on ``127.0.0.1:N/metrics`` for the run's duration;
+  * ``--duv-prune`` -- run the paper's step 1 (DUV-level PL
+    reachability: cover scans plus unbounded k-induction proofs for
+    candidate PLs) before synthesis, accounted in its own stats block;
+  * ``--no-incremental`` -- rebuild fresh solvers per induction proof
+    instead of reusing one growing proof context per design (the legacy
+    reference path; verdicts are identical, only slower);
+  * ``--no-coi`` -- disable cone-of-influence slicing, bit-blasting the
+    full design for every property.
 
 * ``fuzz`` -- run a differential fuzz campaign: generate seeded random
   sequential designs, cross-check every engine (simulator vs reference
@@ -78,7 +86,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core import Rtl2MuPath, UhbGraph, check_sc_safe
+from .core import Rtl2MuPath, Rtl2MuPathConfig, UhbGraph, check_sc_safe
 from .designs import ContextFamilyConfig, CoreContextProvider, build_core, isa
 from .report import CLASS_REPRESENTATIVES, render_uspec_model, table2_report
 
@@ -216,7 +224,14 @@ def cmd_synth_all(args):
             json.dump({"instrs": names}, handle, indent=2, sort_keys=True)
             handle.write("\n")
     design = build_core()
-    tool = Rtl2MuPath(design, _default_provider(design.config.xlen))
+    tool = Rtl2MuPath(
+        design,
+        _default_provider(design.config.xlen),
+        config=Rtl2MuPathConfig(
+            incremental=not args.no_incremental,
+            coi=not args.no_coi,
+        ),
+    )
     engine = JobScheduler(
         EngineConfig(
             jobs=args.jobs,
@@ -233,6 +248,34 @@ def cmd_synth_all(args):
         )
     )
     try:
+        if args.duv_prune:
+            # the paper's step 1 (DUV-level PL pruning, SS V-B1): cover
+            # scans for named PLs plus k-induction proofs for candidate
+            # (invalid-valuation) PLs.  Accounted in its own stats object
+            # so the engine manifest still reconciles with the synthesis
+            # phase's property totals alone.
+            from .mc.stats import PropertyStats
+
+            duv_stats = PropertyStats(label="duv-reach")
+            synth_stats = tool.stats
+            tool.stats = duv_stats
+            try:
+                reachable = tool.duv_pl_reachability(names)
+            finally:
+                tool.stats = synth_stats
+            total = len(tool.metadata.pls) + len(tool.metadata.candidate_pls)
+            print(
+                "DUV PL pruning: %d/%d PLs reachable (%s)"
+                % (
+                    len(reachable),
+                    total,
+                    "incremental induction"
+                    if not args.no_incremental
+                    else "legacy per-property induction",
+                )
+            )
+            print(duv_stats.summary())
+            print()
         results = tool.synthesize_all(names, engine=engine)
     except EngineError as exc:
         print("engine error: %s" % exc)
@@ -418,6 +461,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-port", type=int, default=None, metavar="N",
                    help="serve /metrics on 127.0.0.1:N during the run "
                         "(0 = ephemeral port)")
+    p.add_argument("--duv-prune", action="store_true",
+                   help="run the DUV-level PL reachability phase (cover "
+                        "scans + k-induction proofs for candidate PLs) "
+                        "before synthesis")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable incremental solving: rebuild a fresh "
+                        "solver per induction proof (legacy reference "
+                        "path; the verdicts must not change)")
+    p.add_argument("--no-coi", action="store_true",
+                   help="disable cone-of-influence slicing before "
+                        "bit-blasting induction proofs")
     p.set_defaults(func=cmd_synth_all)
 
     p = sub.add_parser(

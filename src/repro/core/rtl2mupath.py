@@ -60,6 +60,8 @@ class Rtl2MuPathConfig:
     prove_invalid_pls_by_induction: bool = True
     induction_k: int = 1
     induction_conflict_budget: int = 400000
+    incremental: bool = True  # shared growing proof context per design
+    coi: bool = True  # cone-of-influence slicing before bit-blasting
 
 
 @dataclass
@@ -145,6 +147,17 @@ class Rtl2MuPath:
         self.stats = stats if stats is not None else PropertyStats(label="rtl2mupath")
         self._duv_pls: Optional[FrozenSet[str]] = None
         self._connectivity: Optional[Dict[str, Set[str]]] = None
+        self._induction_pool = None
+
+    def _pool(self):
+        """Shared incremental induction pool (None when disabled)."""
+        if not self.config.incremental:
+            return None
+        if self._induction_pool is None:
+            from ..mc.incremental import InductionPool
+
+            self._induction_pool = InductionPool(coi=self.config.coi)
+        return self._induction_pool
 
     # ------------------------------------------------------------ accounting
     def _record(self, name: str, outcome: str, started: float, detail: str = "",
@@ -218,6 +231,7 @@ class Rtl2MuPath:
                             pl.occupied(),
                             k=self.config.induction_k,
                             conflict_budget=self.config.induction_conflict_budget,
+                            pool=self._pool(),
                         )
                         self._record(
                             "duvpl_reach_%s" % pl_name,

@@ -42,7 +42,13 @@ from typing import Any, Dict, Optional
 
 from ..obs.metrics import REGISTRY
 
-__all__ = ["canonical_json", "content_key", "netlist_fingerprint", "ProofCache"]
+__all__ = [
+    "canonical_json",
+    "content_key",
+    "netlist_fingerprint",
+    "observable_fingerprint",
+    "ProofCache",
+]
 
 # v2: entries gain a "checksum" field (sha256 of the entry's canonical
 # JSON minus that field); v1 entries read as stale misses, not corruption
@@ -121,6 +127,24 @@ def netlist_fingerprint(netlist) -> str:
     for name in sorted(netlist.outputs):
         h.update(("o:%s:%d\n" % (name, index[netlist.outputs[name].uid])).encode())
     return h.hexdigest()
+
+
+def observable_fingerprint(netlist) -> str:
+    """Structural hash of the *observable* slice of a netlist.
+
+    The netlist is first sliced to the sequential cone of influence of
+    every named signal and output (:func:`repro.rtl.coi.observable_names`)
+    and the slice is hashed with :func:`netlist_fingerprint`.  Any
+    property the toolchain can state refers only to named signals, so two
+    designs with equal observable fingerprints are property-equivalent:
+    RTL edits outside every observable cone -- debug-only scaffolding,
+    dead logic, disconnected experiments -- keep cached verdicts valid
+    instead of invalidating the whole proof cache.
+    """
+    from ..rtl.coi import coi_slice, observable_names
+
+    sliced = coi_slice(netlist, observable_names(netlist)).netlist
+    return netlist_fingerprint(sliced)
 
 
 # -------------------------------------------------------------- on-disk store

@@ -39,7 +39,12 @@ across a ``ProcessPoolExecutor``, with:
 * **exact accounting**: every per-property CheckResult -- fresh,
   cache-replayed, or checkpoint-resumed -- folds into the caller's
   PropertyStats, and the telemetry manifest reconciles against it
-  (SS VII-B3).
+  (SS VII-B3);
+* **same-design batching**: jobs sharing a ``group_key()`` are
+  dispatched to one worker as a serial batch (split only to keep every
+  worker busy), so the worker's memoized design build and its shared
+  incremental induction pool drain a whole property group on one
+  growing proof context.
 
 Job protocol (duck-typed; see :mod:`repro.engine.specs`):
 
@@ -295,6 +300,50 @@ def _deadline(seconds: Optional[float]):
             signal.setitimer(
                 signal.ITIMER_REAL, max(outer_remaining - elapsed, 1e-6)
             )
+
+
+def _run_job_group(entries, **kwargs) -> List["WorkerReport"]:
+    """Execute a batch of same-group jobs serially inside one worker.
+
+    Jobs sharing a ``group_key()`` (same design) are dispatched as one
+    unit so the worker's memoized builders and its shared incremental
+    induction pool (:func:`repro.engine.specs._worker_induction_pool`)
+    serve the whole batch: the worker holds one growing proof context
+    and drains the property group against it.
+    """
+    return [
+        _run_job_with_retries(job, job_seq=seq, **kwargs)
+        for seq, job in entries
+    ]
+
+
+def _group_batches(pending, workers: int):
+    """Partition pending ``(seq, job, key)`` entries into dispatch units.
+
+    Entries are grouped by ``job.group_key()`` (jobs without one group
+    alone), preserving submission order within a group.  Groups larger
+    than ``ceil(total / workers)`` are split into chunks of that size, so
+    same-design batching never serializes a run below its worker count:
+    with one design and N workers the group splits into ~N chunks, each
+    still a same-design batch.
+    """
+    order: List[str] = []
+    groups: Dict[str, List] = {}
+    for entry in pending:
+        job = entry[1]
+        getter = getattr(job, "group_key", None)
+        gk = getter() if callable(getter) else "job:%s" % job.job_id
+        if gk not in groups:
+            order.append(gk)
+            groups[gk] = []
+        groups[gk].append(entry)
+    chunk = max(1, -(-len(pending) // max(1, workers)))
+    batches = []
+    for gk in order:
+        entries = groups[gk]
+        for start in range(0, len(entries), chunk):
+            batches.append(entries[start : start + chunk])
+    return batches
 
 
 def _run_job_with_retries(
@@ -705,7 +754,11 @@ class JobScheduler:
         kwargs = self._worker_kwargs(log)
         rng = random.Random(cfg.seed)
         poison: Dict[str, int] = {}
-        queue = list(pending)
+        # same-group jobs run consecutively, so the in-process memoized
+        # builders and induction pool serve each group back-to-back
+        queue = [
+            entry for batch in _group_batches(pending, 1) for entry in batch
+        ]
         while queue:
             seq, job, key = queue.pop(0)
             try:
@@ -770,29 +823,32 @@ class JobScheduler:
                     yield job, key, report
                 continue
             lost: List[Tuple[int, Any, Optional[str]]] = []
+            batches = _group_batches(remaining, workers)
             with ProcessPoolExecutor(
-                max_workers=min(workers, len(remaining))
+                max_workers=min(workers, len(batches))
             ) as pool:
                 submitted = [
                     (
                         pool.submit(
-                            _run_job_with_retries, job, job_seq=seq, **kwargs
+                            _run_job_group,
+                            [(seq, job) for seq, job, _key in batch],
+                            **kwargs,
                         ),
-                        seq,
-                        job,
-                        key,
+                        batch,
                     )
-                    for seq, job, key in remaining
+                    for batch in batches
                 ]
-                for future, seq, job, key in submitted:
+                for future, batch in submitted:
                     try:
-                        report = future.result()
+                        reports = future.result()
                     except (BrokenProcessPool, CancelledError):
-                        # a worker died; every unfinished job is implicated
-                        # (the pool cannot name the actual killer)
-                        lost.append((seq, job, key))
+                        # a worker died; every job of every unfinished
+                        # batch is implicated (the pool cannot name the
+                        # actual killer)
+                        lost.extend(batch)
                         continue
-                    yield job, key, report
+                    for (seq, job, key), report in zip(batch, reports):
+                        yield job, key, report
             remaining = lost
             if lost:
                 manifest.pool_rebuilds += 1

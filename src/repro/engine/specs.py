@@ -43,7 +43,8 @@ __all__ = [
 
 # bump when job semantics or cached payload encodings change: old proof
 # cache entries must not satisfy queries from a newer engine
-SCHEMA_VERSION = 1
+# v2: netlist keys switched to the COI-aware observable fingerprint
+SCHEMA_VERSION = 2
 
 Params = Tuple[Tuple[str, Any], ...]
 
@@ -178,6 +179,20 @@ def _provider_family_params(spec: ProviderSpec) -> Dict[str, Any]:
 
 
 # ------------------------------------------------------------ synthesis jobs
+@lru_cache(maxsize=None)
+def _worker_induction_pool(design_spec: DesignSpec, coi: bool):
+    """Per-worker shared :class:`~repro.mc.incremental.InductionPool`.
+
+    Memoized alongside :func:`_built_design`, so every job the scheduler
+    batches onto this worker for the same design recipe proves against
+    the same growing contexts (the netlist object identity the pool keys
+    on is itself stable through the design memoization).
+    """
+    from ..mc.incremental import InductionPool
+
+    return InductionPool(coi=coi)
+
+
 @dataclass(frozen=True)
 class SynthesisJob:
     """One RTL2MuPATH ``synthesize(iuv)`` run, rebuildable in a worker."""
@@ -193,6 +208,12 @@ class SynthesisJob:
     def job_id(self) -> str:
         return "synth:%s" % self.iuv
 
+    def group_key(self) -> str:
+        """Same-design jobs share a group: one worker drains a whole
+        group, so its memoized design/provider builds and its shared
+        incremental induction pool are reused across the group."""
+        return "synth:%s" % self.netlist_hash
+
     def execute(self):
         from ..core.rtl2mupath import Rtl2MuPath, Rtl2MuPathConfig
         from ..faults import injection_point
@@ -202,12 +223,14 @@ class SynthesisJob:
         design = self.design_spec.build()
         provider = self.provider_spec.build()
         stats = PropertyStats(label=self.job_id)
-        tool = Rtl2MuPath(
-            design,
-            provider,
-            config=Rtl2MuPathConfig(**_unparams(self.config_params)),
-            stats=stats,
-        )
+        config = Rtl2MuPathConfig(**_unparams(self.config_params))
+        tool = Rtl2MuPath(design, provider, config=config, stats=stats)
+        if config.incremental:
+            # one pool per (design recipe, coi) per worker process: jobs
+            # batched onto this worker extend the same proof contexts
+            tool._induction_pool = _worker_induction_pool(
+                self.design_spec, config.coi
+            )
         if self.duv_pls is not None:
             tool._duv_pls = frozenset(self.duv_pls)
         result = tool.synthesize(self.iuv)
@@ -261,11 +284,13 @@ class SynthesisJob:
 
 def synthesis_jobs_for(tool, iuv_names: Sequence[str]) -> List[SynthesisJob]:
     """Build one :class:`SynthesisJob` per IUV from a live Rtl2MuPath tool."""
-    from .cache import netlist_fingerprint
+    from .cache import observable_fingerprint
 
     design_spec = infer_design_spec(tool.design)
     provider_spec = infer_provider_spec(tool.provider)
-    netlist_hash = netlist_fingerprint(tool.netlist)
+    # COI-aware key: only the observable slice of the netlist is hashed,
+    # so RTL edits outside every property cone keep cached proofs valid
+    netlist_hash = observable_fingerprint(tool.netlist)
     duv_pls = (
         tuple(sorted(tool._duv_pls)) if tool._duv_pls is not None else None
     )
@@ -308,6 +333,11 @@ class SynthLCJob:
             self.assumption,
             self.operand,
         )
+
+    def group_key(self) -> str:
+        """Same-design batching key (the memoized instrumented SynthLC
+        tool is the expensive per-worker state here)."""
+        return "lc:%s" % self.netlist_hash
 
     def execute(self):
         from ..core.decisions import Decision
@@ -425,13 +455,14 @@ def synthlc_jobs_for(tool, work_items) -> List[SynthLCJob]:
     decision_list)`` tuples as enumerated by
     :meth:`repro.core.synthlc.SynthLC.classify`.
     """
-    from .cache import netlist_fingerprint
+    from .cache import observable_fingerprint
 
     design_spec = infer_design_spec(tool.design)
     provider_spec = infer_provider_spec(tool.provider)
     # key on the *uninstrumented* netlist: instrumentation is a pure
-    # function of (netlist, metadata), both fixed by the design spec
-    netlist_hash = netlist_fingerprint(tool.design.netlist)
+    # function of (netlist, metadata), both fixed by the design spec.
+    # COI-aware (observable slice only), like the synthesis jobs.
+    netlist_hash = observable_fingerprint(tool.design.netlist)
     config_params = _params(tool.config)
     extra = tuple(sorted(tool.extra_persistent))
     jobs = []

@@ -12,6 +12,15 @@ Verdicts:
 * UNSAT when the caller declared the horizon complete -> ``UNREACHABLE``;
 * UNSAT under an incomplete horizon, or conflict budget exhausted
   -> ``UNDETERMINED``.
+
+The context is incremental along two axes: properties are swapped via
+solver assumptions against the single unrolling (learned clauses carry
+over between checks), and :meth:`BmcContext.extend_to` deepens the
+unrolling in place -- frames k..k'-1 are blasted on top of the existing
+ones instead of rebuilding the whole formula.  Passing ``coi_targets``
+slices the netlist to the sequential cone of influence of those named
+signals before any bit-blasting, so properties over a corner of the
+design never pay for the rest of it.
 """
 
 from __future__ import annotations
@@ -66,7 +75,14 @@ class BmcContext:
         complete_horizon: bool = False,
         conflict_budget: Optional[int] = 200000,
         stats: Optional[PropertyStats] = None,
+        coi_targets: Optional[Sequence[str]] = None,
     ):
+        self.coi = None
+        if coi_targets is not None:
+            from ..rtl.coi import coi_slice
+
+            self.coi = coi_slice(netlist, coi_targets)
+            netlist = self.coi.netlist
         self.netlist = netlist
         self.horizon = horizon
         self.context = context or SymbolicContextSpec()
@@ -77,6 +93,7 @@ class BmcContext:
         self.solver = SatSolver()
         self.builder = BitBuilder(self.solver)
         self.frames: List[Frame] = []
+        self._checks = 0
         self._unroll()
         self.view = SymbolicTraceView(self.frames, self.builder)
         self.ops = SymbolicOps(self.builder)
@@ -90,14 +107,43 @@ class BmcContext:
                 state[reg.name] = builder.fresh_word(reg.width)
             else:
                 state[reg.name] = builder.const_word(reg.reset, reg.width)
-        for t in range(self.horizon):
+        self._frontier_state = state
+        self._extend(self.horizon)
+
+    def _extend(self, new_horizon: int):
+        builder = self.builder
+        state = self._frontier_state
+        for t in range(len(self.frames), new_horizon):
             input_bits = self._drive_inputs(t)
             frame = blast_frame(builder, self.netlist, state, input_bits)
             self.frames.append(frame)
             state = frame.next_state
+        self._frontier_state = state
         if self.context.constrain is not None:
+            # constraint literals are built through the builder's gate
+            # caches, so re-running the callable over the full frame list
+            # re-asserts the old cycles' (deduplicated) literals and picks
+            # up the new cycles
             for lit in self.context.constrain(builder, self.frames):
                 self.solver.add_clause([lit])
+
+    def extend_to(self, new_horizon: int, complete_horizon: Optional[bool] = None):
+        """Deepen the unrolling in place to ``new_horizon`` cycles.
+
+        Only the new frames are bit-blasted; learned clauses and the
+        existing formula carry over, so growing k -> k+1 costs one frame,
+        not a rebuild.  ``complete_horizon`` may be updated alongside
+        (a deeper horizon can become the declared-complete one).
+        """
+        if new_horizon < self.horizon:
+            raise ValueError(
+                "cannot shrink horizon %d -> %d" % (self.horizon, new_horizon)
+            )
+        if new_horizon > self.horizon:
+            self._extend(new_horizon)
+            self.horizon = new_horizon
+        if complete_horizon is not None:
+            self.complete_horizon = complete_horizon
 
     def _drive_inputs(self, t) -> Dict[str, List[int]]:
         builder = self.builder
@@ -117,6 +163,15 @@ class BmcContext:
     def check(self, query: Query) -> CheckResult:
         with obs.span("mc.check", engine=self.name, query=query.name) as sp:
             start = time.perf_counter()
+            if self._checks:
+                from ..obs.metrics import REGISTRY
+
+                REGISTRY.counter(
+                    "repro_solver_incremental_reuse_total",
+                    "solve() calls answered on a reused solver "
+                    "(learned clauses retained)",
+                ).inc(context="bmc")
+            self._checks += 1
             assumptions = []
             for expr in query.assumes:
                 combined = self.builder.TRUE

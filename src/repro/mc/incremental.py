@@ -1,0 +1,353 @@
+"""Incremental k-induction: one growing proof context per design.
+
+The legacy :func:`~repro.mc.kinduction.prove_unreachable_kinduction`
+builds two fresh solvers (base + inductive step) and re-bit-blasts the
+whole design for every property.  :class:`IncrementalInductionContext`
+builds each unrolling once and answers every subsequent property against
+it:
+
+* the **base case** swaps properties via solver assumptions on the single
+  reset-rooted unrolling (Tseitin definitions of each property's target
+  accumulate through the builder's gate caches, so repeated structure is
+  shared);
+* the **inductive step** installs each property's "good at t < k"
+  constraints behind an activation literal, solves under
+  ``[activation, bad_at_k]``, and retracts the group afterwards --
+  learned clauses survive from property to property, only the
+  per-property constraints come and go;
+* simple-path (state-distinctness) strengthening is asserted once,
+  permanently, since it is property-independent.
+
+:meth:`IncrementalInductionContext.extend_k` deepens both unrollings in
+place (k -> k+1 blasts one more frame each and adds the new distinctness
+pairs) instead of rebuilding.  Soundness caveat: the step formula's
+simple-path constraints span exactly ``k + 1`` states, so a context
+answers at its *current* k only -- extension is monotonic.
+
+:class:`InductionPool` memoizes contexts per (netlist, sequential
+support, symbolic-register set, simple-path flag).  With ``coi=True``
+each property is sliced to its sequential cone of influence
+(:mod:`repro.rtl.coi`) enriched with every named signal computable from
+the same support, so properties whose support is covered by an existing
+context's cone reuse it -- that sharing is how a worker drains a whole
+same-design property group on a single solver.
+
+Verdict parity with the legacy path is the soundness argument (see
+``tests/test_parity_incremental.py``): definite verdicts must coincide,
+and an UNDETERMINED may only be traded up when it was caused by a
+conflict-budget exhaustion -- "step SAT, k too small" and "no witness in
+a bounded horizon" are definite facts both paths must agree on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs
+from ..obs.metrics import REGISTRY
+from ..props.exprs import CycleExpr
+from ..props.views import SymbolicOps, SymbolicTraceView
+from ..rtl.coi import coi_cone, coi_slice
+from ..rtl.netlist import Netlist
+from ..solver.bitblast import blast_frame
+from ..solver.bits import BitBuilder
+from ..solver.sat import SAT, UNKNOWN, UNSAT, SatSolver
+from .outcomes import REACHABLE, UNDETERMINED, UNREACHABLE, CheckResult
+
+__all__ = ["IncrementalInductionContext", "InductionPool"]
+
+
+def _reuse_counter():
+    return REGISTRY.counter(
+        "repro_solver_incremental_reuse_total",
+        "solve() calls answered on a reused solver (learned clauses retained)",
+    )
+
+
+class _Unrolling:
+    """One growing transition unrolling over its own solver."""
+
+    def __init__(self, netlist: Netlist, symbolic_init: bool, symbolic_registers):
+        self.netlist = netlist
+        self.solver = SatSolver()
+        self.builder = BitBuilder(self.solver)
+        self.frames: List = []
+        state: Dict[str, List[int]] = {}
+        for reg, _ in netlist.registers:
+            if symbolic_init or reg.name in symbolic_registers:
+                state[reg.name] = self.builder.fresh_word(reg.width)
+            else:
+                state[reg.name] = self.builder.const_word(reg.reset, reg.width)
+        self.initial_state = state
+        self._frontier = state
+        self.view = SymbolicTraceView(self.frames, self.builder)
+        self.ops = SymbolicOps(self.builder)
+
+    def extend_to(self, horizon: int):
+        state = self._frontier
+        for _ in range(len(self.frames), horizon):
+            input_bits = {
+                node.name: self.builder.fresh_word(node.width)
+                for node in self.netlist.inputs
+            }
+            frame = blast_frame(self.builder, self.netlist, state, input_bits)
+            self.frames.append(frame)
+            state = frame.next_state
+        self._frontier = state
+
+    @property
+    def states(self):
+        """State vectors s_0 .. s_h (initial plus each frame's next)."""
+        return [self.initial_state] + [f.next_state for f in self.frames]
+
+
+class IncrementalInductionContext:
+    """Reusable k-induction context for one netlist.
+
+    Answers :meth:`prove` for many ``bad`` properties on a single pair of
+    unrollings; see the module docstring for the sharing scheme.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        k: int,
+        symbolic_registers=(),
+        simple_path: bool = True,
+    ):
+        if k < 1:
+            raise ValueError("k-induction needs k >= 1, got %d" % k)
+        self.netlist = netlist
+        self.k = k
+        self.symbolic_registers = frozenset(symbolic_registers)
+        self.simple_path = simple_path
+        self.checks = 0
+        self._base = _Unrolling(netlist, False, self.symbolic_registers)
+        self._step = _Unrolling(netlist, True, ())
+        self._asserted_pairs: set = set()
+        self._build(k)
+
+    def _build(self, k: int):
+        self._base.extend_to(k)
+        self._step.extend_to(k + 1)
+        if self.simple_path:
+            # pairwise distinctness over s_0 .. s_k; on extension only the
+            # pairs involving the new states are asserted
+            states = self._step.states[: k + 1]
+            builder = self._step.builder
+            for i in range(len(states)):
+                for j in range(i + 1, len(states)):
+                    if (i, j) in self._asserted_pairs:
+                        continue
+                    bits = [
+                        builder.word_eq(states[i][name], states[j][name])
+                        for name in states[i]
+                    ]
+                    same = builder.and_many(bits)
+                    self._step.solver.add_clause([-same])
+                    self._asserted_pairs.add((i, j))
+
+    def extend_k(self, new_k: int):
+        """Monotonically deepen the context to answer at ``new_k``.
+
+        Blasts only the new frames and asserts only the new distinctness
+        pairs; afterwards :meth:`prove` answers at ``new_k``.
+        """
+        if new_k < self.k:
+            raise ValueError(
+                "induction context cannot shrink k %d -> %d" % (self.k, new_k)
+            )
+        if new_k > self.k:
+            self._build(new_k)
+            self.k = new_k
+
+    def prove(
+        self, bad: CycleExpr, conflict_budget: Optional[int] = 200000
+    ) -> CheckResult:
+        """Try to prove ``bad`` globally unreachable at this context's k."""
+        start = time.perf_counter()
+        k = self.k
+        if self.checks:
+            _reuse_counter().inc(context="kinduction")
+        self.checks += 1
+
+        def _finish(sp, outcome, detail, solver_delta, witness=None):
+            elapsed = time.perf_counter() - start
+            sp.set("outcome", outcome)
+            return CheckResult(
+                query_name="kind(%r)" % (bad,),
+                outcome=outcome,
+                engine="k-induction",
+                witness=witness,
+                time_seconds=elapsed,
+                detail=detail,
+                depth=k,
+                solver=solver_delta,
+            )
+
+        with obs.span("mc.kinduction", k=k, incremental=True) as root:
+            # ---- base case: BMC from reset for k steps, property assumed
+            with obs.span("mc.kinduction.base"):
+                base = self._base
+                target = base.builder.FALSE
+                for t in range(k):
+                    target = base.builder.or_(
+                        target, bad.evaluate(base.view, t, base.ops)
+                    )
+                verdict = base.solver.solve(
+                    assumptions=[target], max_conflicts=conflict_budget
+                )
+                base_delta = dict(base.solver.last_solve)
+            if verdict == SAT:
+                witness = [
+                    {
+                        name: base.builder.word_value(bits)
+                        for name, bits in frame.named.items()
+                    }
+                    for frame in base.frames[:k]
+                ]
+                return _finish(
+                    root, REACHABLE, "base-case witness at k=%d" % k,
+                    base_delta, witness=witness,
+                )
+            if verdict == UNKNOWN:
+                return _finish(
+                    root, UNDETERMINED, "base case budget exhausted", base_delta
+                )
+
+            # ---- inductive step: per-property constraints behind an
+            # activation literal, retracted afterwards
+            with obs.span("mc.kinduction.step"):
+                step = self._step
+                act = step.solver.new_activation()
+                for t in range(k):
+                    good = -bad.evaluate(step.view, t, step.ops)
+                    step.solver.add_clause([good], activation=act)
+                bad_at_k = bad.evaluate(step.view, k, step.ops)
+                verdict = step.solver.solve(
+                    assumptions=[act, bad_at_k], max_conflicts=conflict_budget
+                )
+                step_delta = dict(step.solver.last_solve)
+                step.solver.retract(act)
+                merged: Dict[str, int] = {}
+                for delta in (base_delta, step_delta):
+                    for key, value in delta.items():
+                        merged[key] = merged.get(key, 0) + value
+            if verdict == UNSAT:
+                return _finish(
+                    root, UNREACHABLE, "induction closed at k=%d" % k, merged
+                )
+            detail = (
+                "induction step SAT (k too small or property not inductive)"
+                if verdict == SAT
+                else "induction step budget exhausted"
+            )
+            return _finish(root, UNDETERMINED, detail, merged)
+
+
+class InductionPool:
+    """Memoized :class:`IncrementalInductionContext` instances.
+
+    One pool per process (or per worker) is enough: contexts are keyed by
+    (netlist, sequential support, symbolic registers, simple-path), and a
+    property whose support is covered by an existing context's cone
+    reuses that context's solvers -- the "one worker drains a property
+    group" pattern the engine's same-design batching sets up.
+    """
+
+    def __init__(self, coi: bool = True):
+        self.coi = coi
+        self._contexts: Dict[Tuple, IncrementalInductionContext] = {}
+        self._supports: Dict[int, Dict[str, Tuple]] = {}
+
+    def _named_supports(self, netlist: Netlist) -> Dict[str, Tuple]:
+        """name -> (register names, input names) sequential support, for
+        every named signal; computed once per netlist."""
+        cached = self._supports.get(id(netlist))
+        if cached is None:
+            cached = {
+                name: self._support(netlist, coi_cone(netlist, (name,)))
+                for name in netlist.named
+            }
+            self._supports[id(netlist)] = cached
+        return cached
+
+    @staticmethod
+    def _support(netlist: Netlist, cone) -> Tuple:
+        regs = frozenset(
+            reg.name for reg, _ in netlist.registers if reg.q.uid in cone
+        )
+        inputs = frozenset(
+            node.name for node in netlist.inputs if node.uid in cone
+        )
+        return (regs, inputs)
+
+    def context_for(
+        self,
+        netlist: Netlist,
+        bad: CycleExpr,
+        k: int,
+        symbolic_registers=(),
+        simple_path: bool = True,
+    ) -> IncrementalInductionContext:
+        symbolic_registers = frozenset(symbolic_registers)
+        support = None
+        if self.coi:
+            targets = tuple(sorted(bad.signals()))
+            support = self._support(netlist, coi_cone(netlist, targets))
+        key = (netlist, support, symbolic_registers, simple_path)
+        ctx = self._contexts.get(key)
+        if (ctx is None or ctx.k > k) and self.coi:
+            # a context whose cone covers this property's support serves it
+            # just as well (its slice retains every named signal computable
+            # from that support); prefer the smallest such cone, and skip
+            # contexts already past this k (they cannot shrink)
+            best = None
+            for cand_key, cand in self._contexts.items():
+                nl, sup, sregs, sp = cand_key
+                if nl is not netlist or sup is None or cand.k > k:
+                    continue
+                if sregs != symbolic_registers or sp != simple_path:
+                    continue
+                if support[0] <= sup[0] and support[1] <= sup[1]:
+                    if best is None or len(sup[0]) < len(best[0][1][0]):
+                        best = (cand_key, cand)
+            if best is not None:
+                key, ctx = best
+        if ctx is None or ctx.k > k:
+            # contexts only grow; a smaller-k request gets a fresh context
+            # (simple-path strengthening is k-specific, see module doc)
+            key = (netlist, support, symbolic_registers, simple_path)
+            target_netlist = netlist
+            if self.coi:
+                # enrich the slice with every named signal whose support
+                # lies inside this property's cone: equal- or smaller-cone
+                # properties then share this context instead of building
+                # their own
+                supports = self._named_supports(netlist)
+                enriched = list(targets) + [
+                    name
+                    for name, sup in supports.items()
+                    if sup[0] <= support[0] and sup[1] <= support[1]
+                ]
+                target_netlist = coi_slice(netlist, enriched).netlist
+            ctx = IncrementalInductionContext(
+                target_netlist, k, symbolic_registers, simple_path
+            )
+            self._contexts[key] = ctx
+        elif ctx.k < k:
+            ctx.extend_k(k)
+        return ctx
+
+    def prove(
+        self,
+        netlist: Netlist,
+        bad: CycleExpr,
+        k: int,
+        symbolic_registers=(),
+        conflict_budget: Optional[int] = 200000,
+        simple_path: bool = True,
+    ) -> CheckResult:
+        ctx = self.context_for(netlist, bad, k, symbolic_registers, simple_path)
+        return ctx.prove(bad, conflict_budget=conflict_budget)

@@ -66,12 +66,28 @@ def prove_unreachable_kinduction(
     symbolic_registers=(),
     conflict_budget: Optional[int] = 200000,
     simple_path: bool = True,
+    pool=None,
 ) -> CheckResult:
     """Try to prove ``bad`` globally unreachable via k-induction.
 
     Returns REACHABLE (base-case witness), UNREACHABLE (induction closed),
     or UNDETERMINED (induction failed at this k, or budget exhausted).
+
+    With ``pool`` (an :class:`~repro.mc.incremental.InductionPool`) the
+    proof runs on a shared incremental context -- one growing unrolling
+    per design/cone instead of fresh solvers per property.  Without it,
+    this is the legacy per-property rebuild path, kept as the independent
+    reference the verdict-parity suite compares against.
     """
+    if pool is not None:
+        return pool.prove(
+            netlist,
+            bad,
+            k=k,
+            symbolic_registers=symbolic_registers,
+            conflict_budget=conflict_budget,
+            simple_path=simple_path,
+        )
     start = time.perf_counter()
     symbolic_registers = frozenset(symbolic_registers)
 

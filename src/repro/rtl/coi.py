@@ -1,0 +1,164 @@
+"""Cone-of-influence (COI) slicing.
+
+Property checks only constrain the signals a property mentions, so the
+formula handed to the solver only needs the part of the design that can
+ever influence those signals.  The *sequential* cone of influence of a
+signal set is the least set of nodes closed under
+
+* combinational fan-in: every argument of an in-cone node is in-cone; and
+* sequential fan-in: when a register's ``q`` pin is in-cone, the
+  register's next-state function is in-cone (its value one cycle earlier
+  can influence the targets).
+
+:func:`coi_slice` computes that closure and returns a new
+:class:`~repro.rtl.netlist.Netlist` restricted to it -- same node
+objects, original topological order, with out-of-cone registers, inputs,
+named signals, and outputs dropped.  The sliced netlist is a sound,
+complete substitute for the original with respect to any property over
+the target signals: every retained node's transitive support is retained,
+so simulation and bit-blasting of the slice agree cycle-for-cycle with
+the full design on all in-cone signals.
+
+Beyond solver-side slicing, the cone defines the *observable* part of a
+design: :func:`observable_names` (all named signals plus outputs) is the
+slice the proof-cache fingerprint hashes, so RTL edits outside every
+property's cone do not invalidate cached verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from .netlist import Netlist
+from .nodes import Node
+
+__all__ = ["CoiSlice", "coi_cone", "coi_slice", "observable_names"]
+
+
+def _register_frontier(next_node: Node) -> Iterable[Node]:
+    """Nodes to enqueue when the closure reaches a register's ``q`` pin.
+
+    Module-level so tests can monkeypatch it (mutation testing of the
+    sequential-closure invariant); the correct frontier is exactly the
+    register's next-state root.
+    """
+    return (next_node,)
+
+
+@dataclass(frozen=True)
+class CoiSlice:
+    """A sliced netlist plus the reduction accounting."""
+
+    netlist: Netlist
+    targets: Tuple[str, ...]
+    kept_cells: int
+    dropped_cells: int
+    kept_registers: int
+    dropped_registers: int
+
+    @property
+    def cell_reduction(self) -> float:
+        total = self.kept_cells + self.dropped_cells
+        return self.dropped_cells / total if total else 0.0
+
+
+def coi_cone(netlist: Netlist, targets: Iterable[str]) -> FrozenSet[int]:
+    """Uids of every node in the sequential cone of the named ``targets``.
+
+    Raises KeyError for names not in ``netlist.named`` or ``outputs``.
+    """
+    next_of: Dict[str, Node] = {
+        reg.name: next_node for reg, next_node in netlist.registers
+    }
+    roots: List[Node] = []
+    for name in targets:
+        node = netlist.named.get(name)
+        if node is None:
+            node = netlist.outputs[name]
+        roots.append(node)
+
+    cone: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node.uid in cone:
+            continue
+        cone.add(node.uid)
+        if node.op == "reg":
+            stack.extend(_register_frontier(next_of[node.name]))
+        else:
+            stack.extend(node.args)
+    return frozenset(cone)
+
+
+def coi_slice(netlist: Netlist, targets: Iterable[str]) -> CoiSlice:
+    """Slice ``netlist`` to the sequential cone of the named ``targets``.
+
+    The result preserves the original topological order (a subsequence of
+    ``netlist.order``), keeps only in-cone registers/inputs, and restricts
+    ``named``/``outputs`` to in-cone entries -- target names always
+    survive.  The slice is closed: every argument of a retained node is
+    retained, so it is directly usable by the simulator and bit-blaster.
+    """
+    targets = tuple(dict.fromkeys(targets))  # stable de-dup
+    cone = coi_cone(netlist, targets)
+
+    order = [node for node in netlist.order if node.uid in cone]
+    inputs = [node for node in netlist.inputs if node.uid in cone]
+    registers = [
+        (reg, next_node)
+        for reg, next_node in netlist.registers
+        if reg.q.uid in cone
+    ]
+    for reg, next_node in registers:
+        if next_node.uid not in cone:
+            # closure invariant: an in-cone register's next-state function
+            # is in-cone.  A violation means the sequential frontier was
+            # computed wrong; slicing anyway would silently free the
+            # register, so fail loudly instead.
+            raise ValueError(
+                "COI closure broken: register %r kept without its "
+                "next-state cone" % reg.name
+            )
+    named = {
+        name: node for name, node in netlist.named.items() if node.uid in cone
+    }
+    outputs = {
+        name: node for name, node in netlist.outputs.items() if node.uid in cone
+    }
+    sliced = Netlist(
+        name=netlist.name,
+        order=order,
+        inputs=inputs,
+        registers=registers,
+        named=named,
+        outputs=outputs,
+    )
+    dropped_cells = netlist.num_cells - sliced.num_cells
+    dropped_regs = len(netlist.registers) - len(registers)
+    if dropped_cells:
+        from ..obs.metrics import REGISTRY
+
+        REGISTRY.counter(
+            "repro_coi_cells_dropped_total",
+            "combinational cells removed by cone-of-influence slicing",
+        ).inc(dropped_cells, design=netlist.name)
+    return CoiSlice(
+        netlist=sliced,
+        targets=targets,
+        kept_cells=sliced.num_cells,
+        dropped_cells=dropped_cells,
+        kept_registers=len(registers),
+        dropped_registers=dropped_regs,
+    )
+
+
+def observable_names(netlist: Netlist) -> Tuple[str, ...]:
+    """Every externally observable signal: named signals plus outputs.
+
+    The cone of these names is the behaviorally relevant part of the
+    design for any property the toolchain can state; the proof cache
+    fingerprints the netlist sliced to it.
+    """
+    return tuple(dict.fromkeys(list(netlist.named) + list(netlist.outputs)))

@@ -13,12 +13,28 @@ conflict-driven clause-learning solver:
 * a conflict budget so callers can obtain honest ``UNKNOWN`` outcomes
   (the paper's "undetermined" model-checker verdict, SS V-B).
 
+The solver is *incremental*: learned clauses survive across
+:meth:`~SatSolver.solve` calls (assumptions are handled as the first
+decisions of the search, so every learned clause is implied by the clause
+database alone and remains valid for later calls), and per-property
+constraints can be installed behind an *activation literal*
+(:meth:`~SatSolver.new_activation` + ``add_clause(..., activation=a)``):
+the guarded clauses only bite while ``a`` is assumed, and
+:meth:`~SatSolver.retract` permanently disables them with a root-level
+unit so the next property starts from a clean slate without discarding
+anything the search learned.  When a call returns UNSAT because the
+assumptions conflict, :attr:`~SatSolver.last_core` holds the subset of
+assumption literals actually used in the refutation (MiniSat's
+``analyzeFinal``); it is reset on every call so verdicts never inherit a
+stale core from an earlier property.
+
 Literals use DIMACS conventions: nonzero ints, ``-v`` is the negation of
 ``v``.  Variables are allocated densely from 1.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -47,6 +63,10 @@ _LEARNED = REGISTRY.counter(
 )
 _SOLVE_SECONDS = REGISTRY.histogram(
     "repro_sat_solve_seconds", "wall-clock seconds per solve() call"
+)
+_INCREMENTAL_REUSE = REGISTRY.counter(
+    "repro_solver_incremental_reuse_total",
+    "solve() calls answered on a reused solver (learned clauses retained)",
 )
 
 SAT = "sat"
@@ -88,6 +108,11 @@ class SatSolver:
         self._learned: List[List[int]] = []
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
+        # VSIDS order heap with lazy (stale) entries: (-activity, var)
+        # tuples, so pops yield the highest-activity unassigned variable
+        # with lowest-var tie-breaking -- the same choice the previous
+        # linear scan made, at O(log n) instead of O(n) per decision
+        self._order_heap: List = []
         self._qhead = 0
         self._var_inc = 1.0
         self._var_decay = 0.95
@@ -101,6 +126,11 @@ class SatSolver:
         # per-solve() counter deltas, refreshed by every solve() call; the
         # model-checking engines attach this to their CheckResults
         self.last_solve: Dict[str, int] = {}
+        # assumption literals used by the most recent UNSAT verdict (None
+        # after SAT/UNKNOWN); see analyze-final in _search
+        self.last_core: Optional[List[int]] = None
+        self._activations: set = set()
+        self._retired_activations: set = set()
 
     # ------------------------------------------------------------------ setup
     def new_var(self) -> int:
@@ -110,12 +140,49 @@ class SatSolver:
         self._reason.append(None)
         self._activity.append(0.0)
         self._phase.append(-1)
+        heapq.heappush(self._order_heap, (0.0, self.num_vars))
         return self.num_vars
 
-    def add_clause(self, lits: Iterable[int]) -> bool:
-        """Add a clause; returns False if the formula became trivially UNSAT."""
+    def new_activation(self) -> int:
+        """A fresh *activation literal* for retractable constraints.
+
+        Clauses added with ``add_clause(lits, activation=a)`` only
+        constrain the search while ``a`` is passed in ``assumptions``;
+        :meth:`retract` disables them for good.  The variable's saved
+        phase starts negative, so an unassumed activation literal defaults
+        to "inactive" and foreign properties' guards never burden an
+        unrelated check.
+        """
+        act = self.new_var()
+        self._activations.add(act)
+        return act
+
+    def retract(self, activation: int) -> bool:
+        """Permanently disable every clause guarded by ``activation``.
+
+        Implemented as a root-level unit ``-activation``: the guarded
+        clauses become top-level satisfied (propagation skips them), while
+        everything learned from them stays valid -- any learned clause
+        whose derivation used a guarded clause contains ``-activation``
+        and is likewise satisfied.
+        """
+        if activation in self._retired_activations:
+            return self._ok
+        self._activations.discard(activation)
+        self._retired_activations.add(activation)
+        return self.add_clause([-activation])
+
+    def add_clause(self, lits: Iterable[int], activation: Optional[int] = None) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT.
+
+        With ``activation`` (from :meth:`new_activation`) the clause is
+        guarded as ``lits or -activation``: inert unless the activation
+        literal is assumed, removable via :meth:`retract`.
+        """
         if not self._ok:
             return False
+        if activation is not None:
+            lits = list(lits) + [-activation]
         # Adding a clause invalidates any model from a previous solve().
         # Return to the root level first: the satisfied/falsified checks
         # below must only consult root facts, and a unit clause enqueued
@@ -179,6 +246,8 @@ class SatSolver:
         """
         before = self.counters()
         started = time.perf_counter()
+        if self.solves:
+            _INCREMENTAL_REUSE.inc(context="solver")
         verdict = UNSAT
         try:
             verdict = self._search(assumptions, max_conflicts)
@@ -201,12 +270,18 @@ class SatSolver:
             _SOLVE_SECONDS.observe(elapsed)
 
     def _search(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None) -> str:
+        # a fresh call must never report a previous call's core (activation
+        # literals from an earlier property would otherwise leak into this
+        # verdict's unsat core after an intervening SAT answer)
+        self.last_core = None
         if not self._ok:
+            self.last_core = []
             return UNSAT
         self._backtrack(0)
         conflict = self._propagate()
         if conflict is not None:
             self._ok = False
+            self.last_core = []
             return UNSAT
         budget_start = self.conflicts
         restart_index = 1
@@ -219,6 +294,7 @@ class SatSolver:
                 self.conflicts += 1
                 if self._decision_level() == 0:
                     self._ok = False
+                    self.last_core = []
                     return UNSAT
                 learned, back_level = self._analyze(conflict)
                 self._backtrack(back_level)
@@ -245,6 +321,7 @@ class SatSolver:
             for lit in assumptions:
                 value = self._value(lit)
                 if value == -1:
+                    self.last_core = self._analyze_final(lit)
                     return UNSAT
                 if value == 0:
                     next_assumption = lit
@@ -398,6 +475,32 @@ class SatSolver:
         learned[1], learned[swap_index] = learned[swap_index], learned[1]
         return learned, back_level
 
+    def _analyze_final(self, false_lit):
+        """Assumption literals responsible for falsifying ``false_lit``.
+
+        MiniSat's ``analyzeFinal``: walk the implication graph backwards
+        from the falsified assumption; every decision encountered is an
+        assumption (heuristic decisions only start once all assumptions
+        hold), so the decisions reached are exactly the assumptions the
+        refutation used.  Root-level (level-0) facts are formula
+        consequences, not assumptions, and are skipped.
+        """
+        core = [false_lit]
+        seen = {abs(false_lit)}
+        for i in range(len(self._trail) - 1, -1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            if var not in seen or self._level[var] == 0:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                core.append(lit)
+            else:
+                for q in reason:
+                    if abs(q) != var:
+                        seen.add(abs(q))
+        return core
+
     def _record_learned(self, learned):
         self.learned_total += 1
         if len(learned) == 1:
@@ -411,27 +514,34 @@ class SatSolver:
         if self._decision_level() <= level:
             return
         limit = self._trail_lim[level]
+        heap = self._order_heap
         for i in range(len(self._trail) - 1, limit - 1, -1):
             lit = self._trail[i]
             var = abs(lit)
             self._phase[var] = 1 if lit > 0 else -1
             self._assign[var] = 0
             self._reason[var] = None
+            heapq.heappush(heap, (-self._activity[var], var))
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
 
     def _pick_branch(self):
-        best_var = None
-        best_act = -1.0
-        for var in range(1, self.num_vars + 1):
-            if self._assign[var] == 0 and self._activity[var] > best_act:
-                best_act = self._activity[var]
-                best_var = var
-        if best_var is None:
-            return None
-        sign = self._phase[best_var]
-        return best_var if sign > 0 else -best_var
+        # lazy-deletion heap: entries go stale when a variable is assigned
+        # or its activity is bumped (the bump pushes a fresh entry), so pop
+        # until an entry matches the variable's current state
+        heap = self._order_heap
+        activity = self._activity
+        assign = self._assign
+        while heap:
+            neg_act, var = heapq.heappop(heap)
+            if assign[var] == 0 and -neg_act == activity[var]:
+                sign = self._phase[var]
+                return var if sign > 0 else -var
+        # every unassigned variable has a current entry by construction
+        # (new_var / _bump / _backtrack all push), so an empty heap means a
+        # complete assignment
+        return None
 
     def _bump(self, var):
         self._activity[var] += self._var_inc
@@ -439,6 +549,14 @@ class SatSolver:
             for i in range(1, self.num_vars + 1):
                 self._activity[i] *= 1e-100
             self._var_inc *= 1e-100
+            self._order_heap = [
+                (-self._activity[v], v)
+                for v in range(1, self.num_vars + 1)
+                if self._assign[v] == 0
+            ]
+            heapq.heapify(self._order_heap)
+        elif self._assign[var] == 0:
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
 
     def _decay_activities(self):
         self._var_inc /= self._var_decay

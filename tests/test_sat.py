@@ -129,6 +129,154 @@ class TestAssumptions:
         assert s.solve(assumptions=[a, b]) == SAT
 
 
+class TestAssumptionRetraction:
+    """Activation-literal retraction and unsat-core hygiene.
+
+    The incremental engines install per-property constraints behind
+    activation literals and retract them between checks; a reused context
+    must answer later properties exactly as a fresh solver would, and an
+    UNSAT core must only mention the *current* call's assumptions -- in
+    particular, activation literals from a property that already got a SAT
+    verdict must never leak into a later core.
+    """
+
+    def test_guarded_clause_inert_without_assumption(self):
+        s = SatSolver()
+        v = s.new_var()
+        act = s.new_activation()
+        s.add_clause([-v], activation=act)
+        s.add_clause([v])
+        # without the activation assumed the guard keeps [-v] inert
+        assert s.solve() == SAT
+        assert s.model_value(v)
+        # with it assumed the constraint bites
+        assert s.solve(assumptions=[act]) == UNSAT
+
+    def test_retract_disables_group(self):
+        s = SatSolver()
+        v, w = s.new_var(), s.new_var()
+        act = s.new_activation()
+        s.add_clause([-v], activation=act)
+        s.add_clause([-w], activation=act)
+        s.add_clause([v])
+        s.add_clause([w])
+        assert s.solve(assumptions=[act]) == UNSAT
+        s.retract(act)
+        # retired group no longer constrains the formula
+        assert s.solve() == SAT
+        assert s.model_value(v) and s.model_value(w)
+        # assuming a *retired* activation is a contradiction by design
+        # (retraction is a root-level unit), and the core says only that
+        assert s.solve(assumptions=[act]) == UNSAT
+        assert {abs(l) for l in s.last_core} == {act}
+
+    def test_retraction_matches_fresh_solver(self):
+        # a reused solver after retraction agrees with a fresh solver on a
+        # chain of property groups (the incremental k-induction pattern)
+        fresh_clauses = []
+        s = SatSolver()
+        vs = [s.new_var() for _ in range(6)]
+        for i in range(5):
+            s.add_clause([-vs[i], vs[i + 1]])
+            fresh_clauses.append([-(i + 1), (i + 2)])
+        for i in range(5):
+            act = s.new_activation()
+            s.add_clause([vs[i]], activation=act)
+            s.add_clause([-vs[i + 1]], activation=act)
+            assert s.solve(assumptions=[act]) == UNSAT
+            s.retract(act)
+            f = SatSolver()
+            for _ in range(6):
+                f.new_var()
+            for clause in fresh_clauses:
+                f.add_clause(clause)
+            f.add_clause([i + 1])
+            f.add_clause([-(i + 2)])
+            assert f.solve() == UNSAT
+        assert s.solve() == SAT
+
+    def test_unsat_core_subset_of_assumptions(self):
+        s = SatSolver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([-a, -b])
+        assert s.solve(assumptions=[c, a, b]) == UNSAT
+        assert s.last_core is not None
+        assert set(s.last_core) <= {a, b}  # c is irrelevant
+        assert set(s.last_core) == {a, b}
+
+    def test_core_cleared_on_sat(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([-a, -b])
+        assert s.solve(assumptions=[a, b]) == UNSAT
+        assert s.last_core
+        assert s.solve(assumptions=[a]) == SAT
+        assert s.last_core is None
+
+    def test_sat_verdict_does_not_leak_activations_into_core(self):
+        # regression: property P1's activation literal got a SAT verdict;
+        # property P2's UNSAT core must not mention it
+        s = SatSolver()
+        v, w = s.new_var(), s.new_var()
+        act1 = s.new_activation()
+        s.add_clause([v], activation=act1)
+        assert s.solve(assumptions=[act1]) == SAT  # P1 reachable
+        act2 = s.new_activation()
+        s.add_clause([-w], activation=act2)
+        s.add_clause([w])
+        assert s.solve(assumptions=[act2]) == UNSAT  # P2 refuted
+        assert s.last_core is not None
+        vars_in_core = {abs(l) for l in s.last_core}
+        assert act1 not in vars_in_core
+        assert vars_in_core == {act2}
+
+    def test_root_unsat_has_empty_core(self):
+        s = SatSolver()
+        v = s.new_var()
+        a = s.new_var()
+        s.add_clause([v])
+        s.add_clause([-v])
+        assert s.solve(assumptions=[a]) == UNSAT
+        assert s.last_core == []
+
+    def test_contradictory_assumptions_core(self):
+        s = SatSolver()
+        a = s.new_var()
+        assert s.solve(assumptions=[a, -a]) == UNSAT
+        assert {abs(l) for l in s.last_core} == {a}
+
+    def test_retract_is_idempotent(self):
+        s = SatSolver()
+        v = s.new_var()
+        act = s.new_activation()
+        s.add_clause([-v], activation=act)
+        s.add_clause([v])
+        assert s.retract(act)
+        assert s.retract(act)
+        assert s.solve() == SAT
+
+    def test_learned_clauses_survive_retraction(self):
+        # the whole point of activation literals: retraction must not
+        # reset the solver (learned clauses and verdicts stay usable)
+        s = SatSolver()
+        holes = 5
+        pigeons = holes + 1
+        p = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        for i in range(pigeons):
+            s.add_clause(p[i])
+        act = s.new_activation()
+        for h in range(holes):
+            for i in range(pigeons):
+                for j in range(i + 1, pigeons):
+                    s.add_clause([-p[i][h], -p[j][h]], activation=act)
+        assert s.solve(assumptions=[act]) == UNSAT
+        learned_before = s.learned_total
+        assert learned_before > 0
+        s.retract(act)
+        assert s.solve() == SAT
+        assert s.learned_total >= learned_before
+
+
 class TestBudget:
     def test_budget_yields_unknown(self):
         # hard PHP instance with a tiny conflict budget
