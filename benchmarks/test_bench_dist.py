@@ -1,0 +1,252 @@
+"""Distributed-runner bench: broker overhead, shared-cache warm replay.
+
+Two workloads, one localhost broker with a shared proof cache and two
+process-mode worker nodes, numbers recorded to ``DIST_BENCH.json``:
+
+* the CLI's ``synth-all ADD DIV`` campaign (two heavy jobs, ~500
+  properties) -- the overhead gate: the cold distributed run must stay
+  within 25% of in-process ``--jobs 2`` wall clock, because per-job
+  solver work is what a broker must not tax;
+* the committed fuzz corpus's reach campaign (16 tiny jobs across 16
+  design groups) -- the sharding shape: many small grouped jobs, where
+  the broker round-trips dominate and the jobs/s number is honest about
+  it.
+
+Both workloads then re-run warm against the now-populated shared cache
+and must evaluate zero properties (100% hit rate), and every verdict
+must be bit-identical to the in-process reference throughout.
+"""
+
+import asyncio
+import os
+import threading
+import time
+
+from repro.cli import _default_provider
+from repro.core import Rtl2MuPath
+from repro.designs import build_core
+from repro.dist import Broker, BrokerConfig, DistScheduler, WorkerNode
+from repro.engine import EngineConfig, JobScheduler, ProofCache
+from repro.engine.specs import reach_jobs_for_corpus
+from repro.mc.stats import PropertyStats
+
+from conftest import REPO_ROOT, print_banner, record_bench_json
+
+CORPUS_DIR = os.path.join(REPO_ROOT, "tests", "fuzz_corpus")
+ISA = ("ADD", "DIV")
+
+
+class _BrokerThread:
+    """A broker on an ephemeral port, served from a daemon thread."""
+
+    def __init__(self, cache_dir):
+        self.broker = Broker(BrokerConfig(cache_dir=cache_dir))
+        self.loop = None
+        self.port = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def _serve(self):
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        self._stop = asyncio.Event()
+
+        async def main():
+            await self.broker.start()
+            self.port = self.broker.port
+            self._ready.set()
+            await self._stop.wait()
+            await self.broker.stop()
+
+        try:
+            self.loop.run_until_complete(main())
+        finally:
+            self.loop.close()
+
+    def start(self):
+        self._thread.start()
+        assert self._ready.wait(30), "broker failed to start"
+        return self
+
+    def stop(self):
+        if self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(120)
+
+    def counts(self):
+        async def _snap():
+            return dict(self.broker.stats_counts)
+
+        return asyncio.run_coroutine_threadsafe(_snap(), self.loop).result(30)
+
+    def wait_puts(self, expected, timeout=120):
+        """Block until ``cache_puts`` reaches ``expected`` -- the puts
+        are write-behind, so a campaign can finish before its last
+        verdict lands in the shared store."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.counts()["cache_puts"] >= expected:
+                return
+            time.sleep(0.02)
+        raise AssertionError(
+            "write-behind stalled: %d puts, expected %d"
+            % (self.counts()["cache_puts"], expected)
+        )
+
+
+def _start_worker(port, node_id):
+    node = WorkerNode(
+        "127.0.0.1", port, slots=1, mode="process", node_id=node_id,
+        heartbeat_seconds=0.5,
+    )
+    thread = threading.Thread(
+        target=lambda: asyncio.run(node.run()), daemon=True
+    )
+    thread.start()
+    return thread
+
+
+def _synth_run(design, engine):
+    tool = Rtl2MuPath(design, _default_provider(design.config.xlen))
+    started = time.perf_counter()
+    results = tool.synthesize_all(ISA, engine=engine)
+    return time.perf_counter() - started, results, tool
+
+
+def _reach_run(port, jobs):
+    stats = PropertyStats(label="dist-reach")
+    engine = DistScheduler(
+        EngineConfig(jobs=2), broker="127.0.0.1:%d" % port
+    )
+    started = time.perf_counter()
+    try:
+        outcome = engine.run(jobs, stats=stats)
+    finally:
+        engine.close()
+    return time.perf_counter() - started, outcome, stats
+
+
+def test_dist_broker_overhead_and_warm_shared_cache(tmp_path):
+    design = build_core()
+    reach_jobs = reach_jobs_for_corpus(CORPUS_DIR, horizon=4, k=2)
+    assert len(reach_jobs) >= 10
+
+    # in-process --jobs 2 references
+    synth_ref_s, synth_ref, synth_ref_tool = _synth_run(
+        design, JobScheduler(EngineConfig(jobs=2))
+    )
+    reach_ref_stats = PropertyStats(label="jobs2-reach")
+    reach_ref = JobScheduler(EngineConfig(jobs=2)).run(
+        reach_jobs, stats=reach_ref_stats
+    )
+
+    cache_dir = str(tmp_path / "shared-cache")
+    harness = _BrokerThread(cache_dir).start()
+    try:
+        _start_worker(harness.port, "bench-1")
+        _start_worker(harness.port, "bench-2")
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and len(harness.broker._nodes) < 2:
+            time.sleep(0.01)
+        assert len(harness.broker._nodes) == 2, "workers failed to register"
+
+        def dist_engine():
+            return DistScheduler(
+                EngineConfig(jobs=2), broker="127.0.0.1:%d" % harness.port
+            )
+
+        # cold: every verdict computed on a worker node, then written
+        # behind into the shared store
+        engine = dist_engine()
+        synth_cold_s, synth_cold, synth_cold_tool = _synth_run(design, engine)
+        engine.close()
+        harness.wait_puts(len(ISA))
+
+        reach_cold_s, reach_cold, reach_cold_stats = _reach_run(
+            harness.port, reach_jobs
+        )
+        harness.wait_puts(len(ISA) + len(reach_jobs))
+
+        # warm: every verdict replayed read-through from the shared store
+        engine = dist_engine()
+        synth_warm_s, synth_warm, synth_warm_tool = _synth_run(design, engine)
+        synth_warm_manifest = engine.last_manifest
+        engine.close()
+        reach_warm_s, reach_warm, reach_warm_stats = _reach_run(
+            harness.port, reach_jobs
+        )
+        counts = harness.counts()
+    finally:
+        harness.stop()
+
+    # the broker must never change the answer
+    for name in ISA:
+        assert synth_cold[name] == synth_ref[name], name
+        assert synth_warm[name] == synth_ref[name], name
+    assert synth_cold_tool.stats.count == synth_ref_tool.stats.count
+    assert synth_warm_tool.stats.count == synth_ref_tool.stats.count
+    for job in reach_jobs:
+        assert reach_cold[job.job_id] == reach_ref[job.job_id], job.job_id
+        assert reach_warm[job.job_id] == reach_ref[job.job_id], job.job_id
+    assert reach_cold_stats.outcome_histogram == reach_ref_stats.outcome_histogram
+    assert reach_cold.manifest.reconciles(reach_cold_stats)
+    assert reach_warm.manifest.reconciles(reach_warm_stats)
+
+    # warm shared cache: zero properties re-checked, every get a hit
+    assert synth_warm_manifest.properties_evaluated == 0
+    assert synth_warm_manifest.jobs_executed == 0
+    assert synth_warm_manifest.cache_hits == len(ISA)
+    assert reach_warm.manifest.properties_evaluated == 0
+    assert reach_warm.manifest.jobs_executed == 0
+    assert reach_warm.manifest.cache_hits == len(reach_jobs)
+    total = len(ISA) + len(reach_jobs)
+    hit_rate = counts["cache_hits"] / max(1, counts["cache_gets"])
+    assert counts["cache_hits"] >= total
+    assert counts["cache_puts_rejected"] == 0
+    # on-disk store is checksum-valid after the write-behind flush
+    assert ProofCache(cache_dir).entries() == total
+
+    overhead = synth_cold_s / synth_ref_s - 1.0
+    assert overhead <= 0.25, (
+        "broker overhead %.0f%% exceeds the 25%% budget "
+        "(dist cold %.2fs vs --jobs 2 %.2fs)"
+        % (overhead * 100, synth_cold_s, synth_ref_s)
+    )
+
+    payload = {
+        "synth_workload": "synth-all %s (%d properties)"
+        % (" ".join(ISA), synth_ref_tool.stats.count),
+        "reach_workload": "reach campaign over tests/fuzz_corpus (%d jobs)"
+        % len(reach_jobs),
+        "cpu_count": os.cpu_count(),
+        "worker_nodes": 2,
+        "synth_inprocess_jobs2_seconds": round(synth_ref_s, 3),
+        "synth_dist_cold_seconds": round(synth_cold_s, 3),
+        "synth_dist_warm_seconds": round(synth_warm_s, 3),
+        "broker_overhead_pct": round(overhead * 100, 1),
+        "reach_dist_cold_seconds": round(reach_cold_s, 3),
+        "reach_dist_warm_seconds": round(reach_warm_s, 3),
+        "reach_dist_cold_jobs_per_second": round(
+            len(reach_jobs) / reach_cold_s, 1
+        ),
+        "warm_cache_hit_rate": round(hit_rate, 3),
+        "warm_properties_evaluated": 0,
+        "write_behind_puts": counts["cache_puts"],
+        "write_behind_puts_rejected": counts["cache_puts_rejected"],
+    }
+    path = record_bench_json("DIST_BENCH.json", payload)
+
+    print_banner("Distributed runner -- broker overhead and shared cache")
+    print("synth-all %s (%d properties), %d reach jobs, %d core(s)"
+          % (" ".join(ISA), synth_ref_tool.stats.count, len(reach_jobs),
+             os.cpu_count()))
+    print("synth in-process --jobs 2: %7.2fs" % synth_ref_s)
+    print("synth dist cold (2 nodes): %7.2fs  (%+.0f%% overhead)"
+          % (synth_cold_s, overhead * 100))
+    print("synth dist warm cache:     %7.2fs" % synth_warm_s)
+    print("reach dist cold:           %7.2fs  (%.1f jobs/s)"
+          % (reach_cold_s, len(reach_jobs) / reach_cold_s))
+    print("reach dist warm cache:     %7.2fs  (hit rate %.0f%%)"
+          % (reach_warm_s, hit_rate * 100))
+    print("recorded -> %s" % path)

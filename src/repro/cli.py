@@ -47,7 +47,35 @@ Commands:
     instead of reusing one growing proof context per design (the legacy
     reference path; verdicts are identical, only slower);
   * ``--no-coi`` -- disable cone-of-influence slicing, bit-blasting the
-    full design for every property.
+    full design for every property;
+  * ``--broker HOST:PORT`` -- dispatch the jobs through a campaign
+    broker (see ``repro broker`` / ``repro worker``) instead of a local
+    process pool.  Verdicts, labels, and manifests are byte-identical
+    to a local ``--jobs N`` run; the broker's shared proof cache (when
+    it has one) replaces ``--cache-dir``;
+  * ``--priority N`` -- broker queue priority for this campaign
+    (higher runs first; default 0);
+  * ``--cache-server HOST:PORT`` -- keep dispatch local but read/write
+    the broker's shared proof cache (read-through gets, write-behind
+    puts), so multiple machines share one store's verdicts.
+
+  A clean Ctrl-C drains in-flight results into the checkpoint (with
+  ``--run-dir``) and exits 130 with the resume command printed; the
+  run directory is never left torn.
+
+* ``broker`` -- run the distributed campaign broker: an asyncio
+  TCP/JSON-lines server with priority queues, group-sticky sharding,
+  backpressure (park/shed), node quarantine, and an optional shared
+  proof cache (``--cache-dir``; read-through gets, write-behind puts
+  flushed on shutdown).  SIGTERM/SIGINT drain gracefully.
+
+* ``worker`` -- run one worker node against a broker: registers its
+  ``--slots``, heartbeats, executes dispatched job batches in a local
+  process pool, and streams results back.  ``--fault-plan`` arms chaos
+  on this node only.  SIGTERM/SIGINT finish in-flight batches first.
+
+* ``cache-info DIR`` -- summarize a proof-cache directory (entry and
+  quarantine counts, sizes, age range); ``--json`` for machine output.
 
 * ``fuzz`` -- run a differential fuzz campaign: generate seeded random
   sequential designs, cross-check every engine (simulator vs reference
@@ -232,21 +260,33 @@ def cmd_synth_all(args):
             coi=not args.no_coi,
         ),
     )
-    engine = JobScheduler(
-        EngineConfig(
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            trace_path=args.trace,
-            timeout_seconds=args.timeout,
-            max_attempts=args.max_attempts,
-            keep_going=args.keep_going,
-            max_rss_mb=args.max_rss_mb,
-            backoff_seconds=args.backoff,
-            fault_plan=fault_plan,
-            run_dir=run_dir,
-            resume=resume,
-        )
+    engine_config = EngineConfig(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        trace_path=args.trace,
+        timeout_seconds=args.timeout,
+        max_attempts=args.max_attempts,
+        keep_going=args.keep_going,
+        max_rss_mb=args.max_rss_mb,
+        backoff_seconds=args.backoff,
+        fault_plan=fault_plan,
+        run_dir=run_dir,
+        resume=resume,
     )
+    if args.broker:
+        from .dist import DistScheduler
+
+        engine = DistScheduler(
+            engine_config, broker=args.broker, priority=args.priority
+        )
+    elif args.cache_server:
+        from .dist.scheduler import CacheOnlyScheduler
+
+        engine = CacheOnlyScheduler(
+            engine_config, broker=args.cache_server, priority=args.priority
+        )
+    else:
+        engine = JobScheduler(engine_config)
     try:
         if args.duv_prune:
             # the paper's step 1 (DUV-level PL pruning, SS V-B1): cover
@@ -283,10 +323,28 @@ def cmd_synth_all(args):
         if manifest is not None:
             print(manifest.summary())
         return 1
+    except KeyboardInterrupt:
+        # the scheduler already drained finished workers and synced the
+        # checkpoint; tell the user how to pick the run back up
+        print()
+        if run_dir:
+            print(
+                "interrupted; completed jobs are checkpointed -- resume "
+                "with: python -m repro synth-all --resume %s" % run_dir
+            )
+        else:
+            print("interrupted (no --run-dir, so nothing was checkpointed)")
+        manifest = engine.last_manifest
+        if manifest is not None:
+            print(manifest.summary())
+        return 130
     except OSError as exc:
         print("error: %s" % exc)
         return 1
     finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
         if args.metrics:
             with open(args.metrics, "w", encoding="utf-8") as handle:
                 handle.write(get_registry().to_prometheus())
@@ -318,6 +376,143 @@ def cmd_synth_all(args):
         print("WARNING: telemetry manifest does not reconcile with stats")
         return 1
     return 1 if failed else 0
+
+
+def cmd_broker(args):
+    import asyncio
+    import signal as signal_mod
+
+    from .dist import Broker, BrokerConfig
+
+    config = BrokerConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        max_queue=args.max_queue,
+        high_water=args.high_water,
+        pipeline_depth=args.pipeline_depth,
+        heartbeat_seconds=args.heartbeat,
+        node_poison_limit=args.node_poison_limit,
+        job_poison_limit=args.job_poison_limit,
+    )
+    broker = Broker(config)
+
+    async def _main():
+        await broker.start()
+        print(
+            "broker listening on %s:%d%s"
+            % (
+                config.host,
+                broker.port,
+                " (shared cache: %s)" % config.cache_dir
+                if config.cache_dir
+                else "",
+            ),
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for signum in (signal_mod.SIGTERM, signal_mod.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await stop.wait()
+        print("broker draining (inflight jobs, write-behind cache)...")
+        await broker.stop()
+        counts = broker.stats_counts
+        print(
+            "broker stopped: %d job(s) completed, %d cache put(s) flushed"
+            % (counts["completed"], counts["cache_puts"])
+        )
+
+    asyncio.run(_main())
+    return 0
+
+
+def cmd_worker(args):
+    from .dist.scheduler import parse_broker_address
+    from .dist.worker import run_worker
+    from .faults import FaultPlan
+
+    try:
+        host, port = parse_broker_address(args.broker)
+    except ValueError as exc:
+        print("error: %s" % exc)
+        return 2
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print("error loading fault plan: %s" % exc)
+            return 2
+        if fault_plan.state_dir is None:
+            import tempfile
+
+            fault_plan = fault_plan.with_state_dir(
+                tempfile.mkdtemp(prefix="repro-fault-state-")
+            )
+        print(
+            "fault plan armed on this node: %s (%d spec(s))"
+            % (args.fault_plan, len(fault_plan.specs))
+        )
+    print(
+        "worker connecting to %s:%d (slots=%d, node=%s)"
+        % (host, port, args.slots, args.node_id or "pid-default"),
+        flush=True,
+    )
+    try:
+        run_worker(
+            host,
+            port,
+            slots=args.slots,
+            mode=args.mode,
+            fault_plan=fault_plan,
+            node_id=args.node_id,
+            heartbeat_seconds=args.heartbeat,
+        )
+    except (ConnectionError, OSError) as exc:
+        print("worker connection failed: %s" % exc)
+        return 1
+    print("worker drained; exiting")
+    return 0
+
+
+def cmd_cache_info(args):
+    import json
+    import os
+
+    from .engine.cache import ProofCache
+
+    if not os.path.isdir(args.dir):
+        print("error: %s is not a directory" % args.dir)
+        return 2
+    stats = ProofCache(args.dir).stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    import datetime
+
+    def _when(ts):
+        if ts is None:
+            return "-"
+        return datetime.datetime.fromtimestamp(ts).isoformat(
+            sep=" ", timespec="seconds"
+        )
+
+    print("proof cache: %s (format v%d)" % (stats["cache_dir"], stats["format"]))
+    print(
+        "  entries:     %d (%.1f KiB)"
+        % (stats["entries"], stats["entry_bytes"] / 1024.0)
+    )
+    print(
+        "  quarantined: %d (%.1f KiB)"
+        % (stats["quarantined"], stats["quarantined_bytes"] / 1024.0)
+    )
+    print("  oldest:      %s" % _when(stats["oldest_entry"]))
+    print("  newest:      %s" % _when(stats["newest_entry"]))
+    return 0
 
 
 def cmd_fuzz(args):
@@ -472,7 +667,74 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-coi", action="store_true",
                    help="disable cone-of-influence slicing before "
                         "bit-blasting induction proofs")
+    p.add_argument("--broker", default=None, metavar="HOST:PORT",
+                   help="dispatch jobs through a campaign broker (see "
+                        "'repro broker' / 'repro worker'); verdicts are "
+                        "byte-identical to a local --jobs N run")
+    p.add_argument("--priority", type=int, default=0, metavar="N",
+                   help="broker queue priority for this campaign "
+                        "(higher first; default 0)")
+    p.add_argument("--cache-server", default=None, metavar="HOST:PORT",
+                   help="keep dispatch local but use the broker's shared "
+                        "proof cache (read-through gets, write-behind puts)")
     p.set_defaults(func=cmd_synth_all)
+
+    p = sub.add_parser(
+        "broker",
+        help="run the distributed campaign broker (TCP/JSON-lines)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=7340,
+                   help="bind port (default 7340; 0 = ephemeral)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="serve a shared proof cache from DIR (read-through "
+                        "gets, write-behind puts)")
+    p.add_argument("--max-queue", type=int, default=100000, metavar="N",
+                   help="shed submits that would push the queue past N")
+    p.add_argument("--high-water", type=int, default=80000, metavar="N",
+                   help="park submits arriving while the queue is >= N")
+    p.add_argument("--pipeline-depth", type=int, default=2, metavar="N",
+                   help="per-node inflight bound = slots * N (default 2)")
+    p.add_argument("--heartbeat", type=float, default=5.0, metavar="SECONDS",
+                   help="worker heartbeat interval (default 5.0); nodes "
+                        "silent for 3 intervals are evicted")
+    p.add_argument("--node-poison-limit", type=int, default=2, metavar="N",
+                   help="node failures before the node is quarantined")
+    p.add_argument("--job-poison-limit", type=int, default=2, metavar="N",
+                   help="node-failure implications before a job is "
+                        "quarantined as a failed report")
+    p.set_defaults(func=cmd_broker)
+
+    p = sub.add_parser(
+        "worker",
+        help="run one worker node against a campaign broker",
+    )
+    p.add_argument("--broker", default="127.0.0.1:7340", metavar="HOST:PORT",
+                   help="broker address (default 127.0.0.1:7340)")
+    p.add_argument("--slots", type=int, default=1, metavar="N",
+                   help="concurrent jobs this node executes (default 1)")
+    p.add_argument("--mode", choices=("process", "inline"), default="process",
+                   help="execution mode: 'process' pool (default; SIGALRM "
+                        "deadlines work) or 'inline' threads (tests)")
+    p.add_argument("--node-id", default=None, metavar="ID",
+                   help="stable node identity (default pid-<PID>); the "
+                        "broker tracks quarantine by this id")
+    p.add_argument("--heartbeat", type=float, default=2.0, metavar="SECONDS",
+                   help="heartbeat interval (default 2.0)")
+    p.add_argument("--fault-plan", default=None, metavar="FILE",
+                   help="arm a JSON fault-injection plan on this node "
+                        "(chaos is never shipped over the wire)")
+    p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "cache-info",
+        help="summarize a proof-cache directory",
+    )
+    p.add_argument("dir", metavar="DIR", help="proof-cache directory")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary as JSON")
+    p.set_defaults(func=cmd_cache_info)
 
     p = sub.add_parser(
         "fuzz",

@@ -1,0 +1,73 @@
+"""repro.dist: sharded multi-node campaign runner.
+
+Distributes the engine's verification jobs across worker nodes through a
+central broker, with a shared proof cache and streaming verdicts:
+
+* :mod:`repro.dist.protocol` -- JSON-lines framing plus exact job /
+  report round-trips (tuples survive, rebuilt specs hash identically);
+* :mod:`repro.dist.broker` -- the asyncio broker: priority queues,
+  group-sticky sharding, backpressure (park / shed), node quarantine,
+  and the shared proof-cache backend (read-through / write-behind);
+* :mod:`repro.dist.worker` -- the worker node daemon wrapping the
+  scheduler's worker loop in a process pool (or inline threads for
+  tests), with heartbeats and graceful drain;
+* :mod:`repro.dist.client` -- async + sync client APIs and the
+  broker-backed :class:`~repro.dist.client.RemoteProofCache`;
+* :mod:`repro.dist.scheduler` -- :class:`DistScheduler`, a
+  :class:`~repro.engine.scheduler.JobScheduler` whose dispatch goes
+  through a broker.  Everything else -- cache replay, checkpoint /
+  resume, stats folding, manifest accounting, span re-rooting -- is
+  inherited unchanged, which is what makes distributed runs
+  byte-identical to ``--jobs N``.
+
+The serial and single-process pool paths are untouched; they remain the
+parity reference the distributed path is tested against.
+"""
+
+from .broker import Broker, BrokerConfig
+from .client import (
+    AsyncBrokerClient,
+    BrokerClient,
+    BrokerShed,
+    DistError,
+    RemoteProofCache,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    decode_job,
+    encode_frame,
+    encode_job,
+    register_job_type,
+    report_from_wire,
+    report_to_wire,
+)
+from .scheduler import CacheOnlyScheduler, DistScheduler, parse_broker_address
+from .worker import WorkerNode, run_worker
+
+__all__ = [
+    "Broker",
+    "BrokerConfig",
+    "AsyncBrokerClient",
+    "BrokerClient",
+    "BrokerShed",
+    "DistError",
+    "RemoteProofCache",
+    "DistScheduler",
+    "CacheOnlyScheduler",
+    "parse_broker_address",
+    "WorkerNode",
+    "run_worker",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "encode_job",
+    "decode_job",
+    "report_to_wire",
+    "report_from_wire",
+    "register_job_type",
+]

@@ -1,0 +1,730 @@
+"""The campaign broker: priority queues, group-sticky sharding,
+backpressure, node quarantine, and the shared proof-cache backend.
+
+One asyncio process owns three responsibilities:
+
+* **Job routing.**  Clients submit batches of wire-encoded jobs with a
+  priority; the broker queues them (higher priority first, FIFO within
+  a priority) and dispatches to registered worker nodes.  Jobs sharing
+  a ``group`` (same design) are *sticky-sharded*: the first dispatch of
+  a group picks the least-loaded node and every later job of that group
+  follows it, so one node drains a design group against its warm
+  memoized builders and incremental induction pool -- the distributed
+  analogue of the scheduler's same-design batching.  The broker never
+  decodes job specs; it routes on ``{job_id, group, priority}`` alone.
+
+* **Backpressure.**  Each node's in-flight job count is bounded by
+  ``slots * pipeline_depth``; jobs beyond that stay queued.  A submit
+  arriving while the queue is at or above ``high_water`` is *parked*
+  (the client sleeps ``retry_after`` and retries); one that would push
+  the queue past ``max_queue`` is *shed* (the client gets an error).
+  Nothing is ever silently dropped.
+
+* **Fault policy at node granularity.**  A node that dies with work in
+  flight (connection lost, or a ``batch_failed`` report) poisons both
+  the node and every implicated job.  Jobs are re-sharded onto healthy
+  nodes until their own poison count reaches ``job_poison_limit``, at
+  which point the client receives a quarantined failure report -- the
+  same graceful degradation the in-process scheduler applies.  A node
+  implicated ``node_poison_limit`` times is quarantined: it may stay
+  connected, but no further work is dispatched to it (tracked by
+  ``node_id``, so a crash-looping daemon cannot reconnect its way back
+  into the rotation).
+
+The proof-cache backend wraps the on-disk :class:`ProofCache`
+(format v2, per-entry SHA-256 checksums) behind two operations:
+``cache_get`` is read-through (served inline, corrupt entries
+quarantined exactly as locally), and ``cache_put`` is write-behind --
+the entry is acknowledged into an in-memory queue and persisted by a
+background task, with the checksum re-verified before the atomic
+temp-file + rename write.  Graceful shutdown drains worker in-flight,
+then flushes the write-behind queue, so a broker restart loses nothing
+that was acknowledged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine.cache import CACHE_FORMAT_VERSION, ProofCache, entry_checksum
+from ..obs.metrics import REGISTRY
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = ["BrokerConfig", "Broker"]
+
+_JOBS = REGISTRY.counter(
+    "repro_dist_jobs_total", "broker job transitions, by disposition"
+)
+_SUBMITS = REGISTRY.counter(
+    "repro_dist_submits_total", "client submit batches, by disposition"
+)
+_NODES = REGISTRY.counter(
+    "repro_dist_nodes_total", "worker node lifecycle events"
+)
+_CACHE_REQS = REGISTRY.counter(
+    "repro_dist_cache_requests_total", "shared-cache operations, by op"
+)
+_BAD_FRAMES = REGISTRY.counter(
+    "repro_dist_frames_rejected_total", "protocol errors dropped by the broker"
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_dist_queue_depth", "jobs currently queued at the broker"
+)
+
+
+@dataclass
+class BrokerConfig:
+    """Broker knobs (the ``repro broker`` CLI maps here)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 -> ephemeral; Broker.port holds the bound port
+    cache_dir: Optional[str] = None  # enables the shared proof cache
+    max_queue: int = 100000  # submits that would exceed this are shed
+    high_water: int = 80000  # submits at/above this are parked
+    pipeline_depth: int = 2  # per-node inflight bound = slots * this
+    retry_after: float = 0.05  # parked clients sleep this long
+    heartbeat_seconds: float = 5.0
+    heartbeat_misses: int = 3  # silence budget before eviction
+    node_poison_limit: int = 2  # crashes before a node is quarantined
+    job_poison_limit: int = 2  # implications before a job is quarantined
+    drain_timeout: float = 30.0  # graceful-stop wait for inflight
+
+
+@dataclass
+class _JobEntry:
+    seq: int
+    priority: int
+    client_id: str
+    job_id: str
+    group: str
+    wire: Dict[str, Any]
+    options: Dict[str, Any]
+    poison: int = 0
+
+
+@dataclass
+class _Node:
+    node_id: str
+    writer: asyncio.StreamWriter
+    slots: int = 1
+    inflight: Dict[str, _JobEntry] = field(default_factory=dict)
+    quarantined: bool = False
+    draining: bool = False
+    last_seen: float = 0.0
+    dispatched: int = 0
+    completed: int = 0
+    max_inflight_observed: int = 0
+
+
+@dataclass
+class _Client:
+    client_id: str
+    writer: asyncio.StreamWriter
+
+
+class Broker:
+    """The asyncio campaign broker; see module docs for the policies."""
+
+    def __init__(self, config: Optional[BrokerConfig] = None):
+        self.config = config or BrokerConfig()
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._nodes: Dict[str, _Node] = {}
+        self._clients: Dict[str, _Client] = {}
+        self._queue: List[Tuple[int, int, _JobEntry]] = []
+        self._shards: Dict[str, str] = {}  # group -> node_id (sticky)
+        self._node_poison: Dict[str, int] = {}  # by node_id, survives reconnect
+        self._seq = 0
+        self._client_seq = 0
+        self._node_seq = 0
+        self._stopping = False
+        self._tasks: List[asyncio.Task] = []
+        self._conn_tasks: set = set()
+        self._cache = (
+            ProofCache(self.config.cache_dir) if self.config.cache_dir else None
+        )
+        self._wb_queue: Optional[asyncio.Queue] = None
+        # counters surfaced by the `stats` frame (and asserted by tests)
+        self.stats_counts: Dict[str, int] = {
+            "submitted": 0,
+            "dispatched": 0,
+            "completed": 0,
+            "requeued": 0,
+            "quarantined_jobs": 0,
+            "quarantined_nodes": 0,
+            "parked": 0,
+            "shed": 0,
+            "dropped_verdicts": 0,  # client vanished before its verdict
+            "cache_gets": 0,
+            "cache_hits": 0,
+            "cache_puts": 0,
+            "cache_puts_rejected": 0,
+            "max_inflight_observed": 0,
+        }
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        cfg = self.config
+        self._server = await asyncio.start_server(
+            self._handle, cfg.host, cfg.port, limit=MAX_FRAME_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._tasks.append(asyncio.ensure_future(self._sweep_heartbeats()))
+        if self._cache is not None:
+            self._wb_queue = asyncio.Queue()
+            self._tasks.append(asyncio.ensure_future(self._write_behind()))
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: drain worker inflight, flush write-behind,
+        then close every connection and the listening socket."""
+        self._stopping = True
+        for node in list(self._nodes.values()):
+            self._send(node.writer, {"type": "drain"})
+        if drain:
+            # wait for worker inflight AND for attached clients to wind
+            # down -- a client that already closed its socket still has
+            # buffered frames (final write-behind puts among them) that
+            # its read loop must enqueue before the flush below
+            deadline = time.monotonic() + self.config.drain_timeout
+            while time.monotonic() < deadline and (
+                self._clients
+                or any(node.inflight for node in self._nodes.values())
+            ):
+                await asyncio.sleep(0.02)
+        if self._wb_queue is not None:
+            await self._wb_queue.join()
+        for task in self._tasks:
+            task.cancel()
+        self._tasks.clear()
+        for client in list(self._clients.values()):
+            self._send(client.writer, {"type": "stopping"})
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for peer in list(self._nodes.values()) + list(self._clients.values()):
+            try:
+                peer.writer.close()
+            except Exception:
+                pass
+        if self._conn_tasks:
+            # closed transports pop every read loop out with EOF; reap
+            # the handler tasks so the loop shuts down quietly
+            await asyncio.wait(list(self._conn_tasks), timeout=5)
+
+    # ------------------------------------------------------------------- I/O
+    @staticmethod
+    def _send(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+        try:
+            writer.write(encode_frame(message))
+        except (ProtocolError, ConnectionError, RuntimeError):
+            pass  # the read loop notices the dead peer and cleans up
+
+    @staticmethod
+    async def _read_frame(reader: asyncio.StreamReader):
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise ProtocolError("frame exceeds the size limit") from None
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
+        if not line:
+            return None
+        return decode_frame(line)
+
+    async def _handle(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            hello = await self._read_frame(reader)
+            if hello is None:
+                return
+            if hello["type"] != "hello":
+                raise ProtocolError("expected hello, got %r" % hello["type"])
+            if hello.get("version") != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    "protocol version mismatch: broker speaks %d, peer %r"
+                    % (PROTOCOL_VERSION, hello.get("version"))
+                )
+            role = hello.get("role")
+            if role == "worker":
+                await self._serve_worker(hello, reader, writer)
+            elif role == "client":
+                await self._serve_client(hello, reader, writer)
+            else:
+                raise ProtocolError("unknown role %r" % role)
+        except ProtocolError as exc:
+            _BAD_FRAMES.inc()
+            self._send(writer, {"type": "error", "error": str(exc)})
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # ---------------------------------------------------------------- workers
+    async def _serve_worker(self, hello, reader, writer) -> None:
+        self._node_seq += 1
+        node_id = str(hello.get("node") or "node-%d" % self._node_seq)
+        node = _Node(
+            node_id=node_id,
+            writer=writer,
+            slots=max(1, int(hello.get("slots") or 1)),
+            last_seen=time.monotonic(),
+        )
+        node.quarantined = (
+            self._node_poison.get(node_id, 0) >= self.config.node_poison_limit
+        )
+        self._nodes[node_id] = node
+        _NODES.inc(event="joined")
+        self._send(
+            writer,
+            {
+                "type": "welcome",
+                "version": PROTOCOL_VERSION,
+                "node": node_id,
+                "quarantined": node.quarantined,
+            },
+        )
+        self._pump()
+        try:
+            while True:
+                frame = await self._read_frame(reader)
+                if frame is None:
+                    break
+                node.last_seen = time.monotonic()
+                kind = frame["type"]
+                if kind == "heartbeat":
+                    continue
+                if kind == "result":
+                    self._on_result(node, frame)
+                elif kind == "batch_failed":
+                    self._on_batch_failed(node, frame)
+                elif kind == "draining":
+                    node.draining = True
+                    self._reshard_away(node_id)
+                elif kind == "goodbye":
+                    break
+                else:
+                    raise ProtocolError(
+                        "unexpected %r frame from worker" % kind
+                    )
+        finally:
+            if self._nodes.get(node_id) is node:
+                del self._nodes[node_id]
+            _NODES.inc(event="left")
+            self._node_lost(node)
+            self._pump()
+
+    def _node_lost(self, node: _Node) -> None:
+        """A node vanished: requeue or quarantine its in-flight jobs and
+        poison the node if it still owed work (a graceful drain owes none)."""
+        self._reshard_away(node.node_id)
+        if not node.inflight:
+            return
+        count = self._node_poison[node.node_id] = (
+            self._node_poison.get(node.node_id, 0) + 1
+        )
+        if count == self.config.node_poison_limit:
+            self.stats_counts["quarantined_nodes"] += 1
+            _NODES.inc(event="quarantined")
+        for entry in node.inflight.values():
+            self._implicate(entry)
+        node.inflight.clear()
+
+    def _reshard_away(self, node_id: str) -> None:
+        for group in [g for g, n in self._shards.items() if n == node_id]:
+            del self._shards[group]
+
+    def _implicate(self, entry: _JobEntry) -> None:
+        """One job lost to a node failure: requeue it for a healthy node,
+        or give up with a quarantined report once it exceeds its budget."""
+        entry.poison += 1
+        if entry.poison >= self.config.job_poison_limit:
+            self.stats_counts["quarantined_jobs"] += 1
+            _JOBS.inc(disposition="quarantined")
+            self._deliver(
+                entry,
+                {
+                    "job_id": entry.job_id,
+                    "error": "quarantined: job implicated in %d node failure(s)"
+                    % entry.poison,
+                    "quarantined": True,
+                    "payload": None,
+                    "results": [],
+                    "attempts": [],
+                    "spans": [],
+                },
+            )
+            return
+        self.stats_counts["requeued"] += 1
+        _JOBS.inc(disposition="requeued")
+        heapq.heappush(self._queue, (-entry.priority, entry.seq, entry))
+        _QUEUE_DEPTH.set(len(self._queue))
+
+    def _on_result(self, node: _Node, frame) -> None:
+        tag = frame.get("tag")
+        entry = node.inflight.pop(tag, None)
+        if entry is None:
+            return  # late result for a job the broker already requeued
+        report = frame.get("report")
+        if not isinstance(report, dict):
+            raise ProtocolError("result frame carries no report object")
+        node.completed += 1
+        self.stats_counts["completed"] += 1
+        _JOBS.inc(disposition="completed")
+        self._deliver(entry, report)
+        self._pump()
+
+    def _on_batch_failed(self, node: _Node, frame) -> None:
+        tags = frame.get("tags")
+        if not isinstance(tags, list):
+            raise ProtocolError("batch_failed frame carries no tags list")
+        implicated = [
+            node.inflight.pop(tag) for tag in tags if tag in node.inflight
+        ]
+        if not implicated:
+            return
+        count = self._node_poison[node.node_id] = (
+            self._node_poison.get(node.node_id, 0) + 1
+        )
+        if count >= self.config.node_poison_limit and not node.quarantined:
+            node.quarantined = True
+            self.stats_counts["quarantined_nodes"] += 1
+            _NODES.inc(event="quarantined")
+            self._reshard_away(node.node_id)
+        for entry in implicated:
+            self._implicate(entry)
+        self._pump()
+
+    def _deliver(self, entry: _JobEntry, report: Dict[str, Any]) -> None:
+        client = self._clients.get(entry.client_id)
+        if client is None:
+            self.stats_counts["dropped_verdicts"] += 1
+            return
+        self._send(
+            client.writer,
+            {"type": "verdict", "job_id": entry.job_id, "report": report},
+        )
+
+    async def _sweep_heartbeats(self) -> None:
+        cfg = self.config
+        while True:
+            await asyncio.sleep(cfg.heartbeat_seconds)
+            cutoff = time.monotonic() - cfg.heartbeat_seconds * cfg.heartbeat_misses
+            for node in list(self._nodes.values()):
+                if node.last_seen < cutoff:
+                    _NODES.inc(event="evicted")
+                    # closing the transport pops the node out of its read
+                    # loop, which runs the shared _node_lost cleanup
+                    node.writer.close()
+
+    # ---------------------------------------------------------------- clients
+    async def _serve_client(self, hello, reader, writer) -> None:
+        self._client_seq += 1
+        client = _Client(client_id="c%d" % self._client_seq, writer=writer)
+        self._clients[client.client_id] = client
+        self._send(
+            writer,
+            {
+                "type": "welcome",
+                "version": PROTOCOL_VERSION,
+                "client": client.client_id,
+                "cache": self._cache is not None,
+            },
+        )
+        try:
+            while True:
+                frame = await self._read_frame(reader)
+                if frame is None:
+                    break
+                kind = frame["type"]
+                if kind == "submit":
+                    self._on_submit(client, frame)
+                elif kind == "cache_get":
+                    self._on_cache_get(client, frame)
+                elif kind == "cache_put":
+                    self._on_cache_put(frame)
+                elif kind == "cache_stats":
+                    self._on_cache_stats(client)
+                elif kind == "stats":
+                    self._send(
+                        writer, {"type": "stats", "stats": self.stats_dict()}
+                    )
+                elif kind == "goodbye":
+                    break
+                else:
+                    raise ProtocolError(
+                        "unexpected %r frame from client" % kind
+                    )
+        finally:
+            self._clients.pop(client.client_id, None)
+
+    def _on_submit(self, client: _Client, frame) -> None:
+        cfg = self.config
+        jobs = frame.get("jobs")
+        if not isinstance(jobs, list) or not jobs:
+            raise ProtocolError("submit frame carries no jobs list")
+        options = frame.get("options") or {}
+        if not isinstance(options, dict):
+            raise ProtocolError("submit options must be an object")
+        try:
+            priority = int(frame.get("priority") or 0)
+        except (TypeError, ValueError):
+            raise ProtocolError("submit priority must be an integer") from None
+        if self._stopping:
+            self._send(
+                client.writer, {"type": "shed", "error": "broker is stopping"}
+            )
+            return
+        if len(self._queue) >= cfg.high_water:
+            self.stats_counts["parked"] += 1
+            _SUBMITS.inc(disposition="parked")
+            self._send(
+                client.writer,
+                {"type": "parked", "retry_after": cfg.retry_after},
+            )
+            return
+        if len(self._queue) + len(jobs) > cfg.max_queue:
+            self.stats_counts["shed"] += 1
+            _SUBMITS.inc(disposition="shed")
+            self._send(
+                client.writer,
+                {
+                    "type": "shed",
+                    "error": "queue of %d cannot absorb %d more job(s) "
+                    "(max_queue=%d)" % (len(self._queue), len(jobs), cfg.max_queue),
+                },
+            )
+            return
+        entries = []
+        for wire in jobs:
+            if not isinstance(wire, dict) or "spec" not in wire:
+                raise ProtocolError("submitted job carries no spec")
+            job_id = wire.get("job_id")
+            if not isinstance(job_id, str) or not job_id:
+                raise ProtocolError("submitted job carries no job_id")
+            group = wire.get("group")
+            if not isinstance(group, str) or not group:
+                group = "job:%s" % job_id
+            self._seq += 1
+            entries.append(
+                _JobEntry(
+                    seq=self._seq,
+                    priority=priority,
+                    client_id=client.client_id,
+                    job_id=job_id,
+                    group=group,
+                    wire=wire,
+                    options=options,
+                )
+            )
+        for entry in entries:
+            heapq.heappush(self._queue, (-entry.priority, entry.seq, entry))
+        self.stats_counts["submitted"] += len(entries)
+        _SUBMITS.inc(disposition="accepted")
+        _QUEUE_DEPTH.set(len(self._queue))
+        self._send(client.writer, {"type": "accepted", "count": len(entries)})
+        self._pump()
+
+    # --------------------------------------------------------------- dispatch
+    def _node_capacity(self, node: _Node) -> int:
+        return node.slots * max(1, self.config.pipeline_depth)
+
+    def _route(self, group: str, active: List[_Node]) -> Optional[_Node]:
+        """The sticky shard target for ``group`` (assigning one if new)."""
+        node = self._nodes.get(self._shards.get(group, ""))
+        if node is None or node.quarantined or node.draining:
+            node = min(
+                active,
+                key=lambda n: (len(n.inflight) / n.slots, n.node_id),
+            )
+            self._shards[group] = node.node_id
+        return node
+
+    def _pump(self) -> None:
+        """Move queued jobs onto nodes with capacity, preserving priority
+        order and group stickiness; jobs whose shard node is saturated
+        stay queued (affinity beats immediate dispatch)."""
+        if self._stopping or not self._queue:
+            _QUEUE_DEPTH.set(len(self._queue))
+            return
+        active = [
+            n for n in self._nodes.values()
+            if not n.quarantined and not n.draining
+        ]
+        if not active:
+            return
+        leftover: List[Tuple[int, int, _JobEntry]] = []
+        batches: Dict[Tuple[str, int], List[Tuple[str, _JobEntry]]] = {}
+        while self._queue:
+            item = heapq.heappop(self._queue)
+            entry = item[2]
+            node = self._route(entry.group, active)
+            if node is None or len(node.inflight) >= self._node_capacity(node):
+                leftover.append(item)
+                continue
+            tag = "t%d" % entry.seq
+            node.inflight[tag] = entry
+            node.dispatched += 1
+            node.max_inflight_observed = max(
+                node.max_inflight_observed, len(node.inflight)
+            )
+            self.stats_counts["max_inflight_observed"] = max(
+                self.stats_counts["max_inflight_observed"], len(node.inflight)
+            )
+            self.stats_counts["dispatched"] += 1
+            _JOBS.inc(disposition="dispatched")
+            batches.setdefault((node.node_id, id(entry.options)), []).append(
+                (tag, entry)
+            )
+        for item in leftover:
+            heapq.heappush(self._queue, item)
+        _QUEUE_DEPTH.set(len(self._queue))
+        for (node_id, _opts), pairs in batches.items():
+            node = self._nodes.get(node_id)
+            if node is None:
+                continue
+            self._send(
+                node.writer,
+                {
+                    "type": "run",
+                    "jobs": [dict(entry.wire, tag=tag) for tag, entry in pairs],
+                    "options": pairs[0][1].options,
+                },
+            )
+
+    # ------------------------------------------------------------------ cache
+    def _on_cache_get(self, client: _Client, frame) -> None:
+        key = frame.get("key")
+        if not isinstance(key, str) or not key:
+            raise ProtocolError("cache_get frame carries no key")
+        entry = None
+        if self._cache is not None:
+            self.stats_counts["cache_gets"] += 1
+            entry = self._cache.get(key)
+            if entry is not None:
+                self.stats_counts["cache_hits"] += 1
+                _CACHE_REQS.inc(op="hit")
+            else:
+                _CACHE_REQS.inc(op="miss")
+        self._send(
+            client.writer, {"type": "cache_entry", "key": key, "entry": entry}
+        )
+
+    def _on_cache_put(self, frame) -> None:
+        """Write-behind: acknowledge by enqueueing; a background task
+        persists.  No response frame -- puts are fire-and-forget, so they
+        never interleave with a client's streaming verdicts."""
+        if self._cache is None or self._wb_queue is None:
+            return
+        entry = frame.get("entry")
+        if not isinstance(entry, dict):
+            raise ProtocolError("cache_put frame carries no entry object")
+        self._wb_queue.put_nowait(entry)
+
+    async def _write_behind(self) -> None:
+        while True:
+            entry = await self._wb_queue.get()
+            try:
+                self._store_entry(entry)
+            except Exception:
+                self.stats_counts["cache_puts_rejected"] += 1
+                _CACHE_REQS.inc(op="put_rejected")
+            finally:
+                self._wb_queue.task_done()
+
+    def _store_entry(self, entry: Dict[str, Any]) -> None:
+        """Persist one client-supplied cache entry, re-verifying its
+        integrity before the atomic write (a corrupt put is rejected,
+        never stored)."""
+        key = entry.get("key")
+        if (
+            not isinstance(key, str)
+            or not key
+            or os.sep in key
+            or entry.get("format") != CACHE_FORMAT_VERSION
+            or not entry.get("final")
+            or entry.get("checksum") != entry_checksum(entry)
+        ):
+            self.stats_counts["cache_puts_rejected"] += 1
+            _CACHE_REQS.inc(op="put_rejected")
+            return
+        import json
+
+        path = self._cache._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats_counts["cache_puts"] += 1
+        _CACHE_REQS.inc(op="put")
+
+    def _on_cache_stats(self, client: _Client) -> None:
+        stats = self._cache.stats() if self._cache is not None else None
+        self._send(
+            client.writer,
+            {
+                "type": "cache_stats",
+                "stats": stats,
+                "write_behind_pending": (
+                    self._wb_queue.qsize() if self._wb_queue is not None else 0
+                ),
+            },
+        )
+
+    # ------------------------------------------------------------------ stats
+    def stats_dict(self) -> Dict[str, Any]:
+        return {
+            "queued": len(self._queue),
+            "inflight": sum(len(n.inflight) for n in self._nodes.values()),
+            "nodes": {
+                node.node_id: {
+                    "slots": node.slots,
+                    "inflight": len(node.inflight),
+                    "dispatched": node.dispatched,
+                    "completed": node.completed,
+                    "max_inflight_observed": node.max_inflight_observed,
+                    "quarantined": node.quarantined,
+                    "draining": node.draining,
+                }
+                for node in self._nodes.values()
+            },
+            "shards": dict(self._shards),
+            "cache": {
+                "enabled": self._cache is not None,
+                "dir": self.config.cache_dir,
+                "write_behind_pending": (
+                    self._wb_queue.qsize() if self._wb_queue is not None else 0
+                ),
+            },
+            "counts": dict(self.stats_counts),
+        }

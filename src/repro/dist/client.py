@@ -1,0 +1,313 @@
+"""Client-side APIs: async streaming, a sync facade, and the remote cache.
+
+:class:`AsyncBrokerClient` is the native surface: connect, submit a
+batch of wire-encoded jobs, and consume verdicts as an async stream in
+completion order.  Backpressure is handled inside the stream -- a
+*parked* response sleeps ``retry_after`` and resubmits, a *shed*
+response raises :class:`BrokerShed` (the campaign was refused, nothing
+was enqueued).
+
+:class:`BrokerClient` wraps it for synchronous callers (the
+:class:`~repro.dist.scheduler.DistScheduler` runs inside the ordinary
+blocking engine): it owns a private event loop and steps the async
+generator one verdict at a time.
+
+:class:`RemoteProofCache` duck-types the on-disk
+:class:`~repro.engine.cache.ProofCache` against the broker's shared
+backend.  Reads are validating read-throughs -- the client re-verifies
+format version, per-entry SHA-256 checksum, and finality on every entry
+it receives, so a corrupt byte anywhere between broker disk and this
+process degrades to a miss, never a wrong verdict.  Writes are
+fire-and-forget into the broker's write-behind queue; they carry the
+same checksummed format-v2 entry a local put would write, which is why
+a cache populated over the network is byte-compatible with one written
+locally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, AsyncIterator, Dict, Iterator, List, Optional, Tuple
+
+from ..engine.cache import CACHE_FORMAT_VERSION, entry_checksum
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "DistError",
+    "BrokerShed",
+    "AsyncBrokerClient",
+    "BrokerClient",
+    "RemoteProofCache",
+]
+
+
+class DistError(RuntimeError):
+    """A distributed-run failure outside the job protocol (connection
+    loss, broker shutdown, protocol violation)."""
+
+
+class BrokerShed(DistError):
+    """The broker refused the submit outright (queue over ``max_queue``)."""
+
+
+class AsyncBrokerClient:
+    """One broker connection; submit once, stream verdicts, cache ops."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.welcome: Dict[str, Any] = {}
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    @property
+    def cache_enabled(self) -> bool:
+        return bool(self.welcome.get("cache"))
+
+    async def connect(self) -> Dict[str, Any]:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_FRAME_BYTES
+        )
+        await self._write(
+            {"type": "hello", "role": "client", "version": PROTOCOL_VERSION}
+        )
+        welcome = await self._read()
+        if welcome.get("type") != "welcome":
+            raise DistError("broker refused connection: %r" % (welcome,))
+        self.welcome = welcome
+        return welcome
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.write(encode_frame({"type": "goodbye"}))
+                await self._writer.drain()
+            except (ConnectionError, ProtocolError, RuntimeError):
+                pass
+            self._writer.close()
+            self._writer = None
+        self._reader = None
+
+    # ------------------------------------------------------------------- I/O
+    async def _write(self, message: Dict[str, Any]) -> None:
+        if self._writer is None:
+            raise DistError("client is not connected")
+        try:
+            self._writer.write(encode_frame(message))
+            await self._writer.drain()
+        except ConnectionError as exc:
+            raise DistError("broker connection lost: %s" % exc) from None
+
+    async def _read(self) -> Dict[str, Any]:
+        if self._reader is None:
+            raise DistError("client is not connected")
+        try:
+            line = await self._reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise ProtocolError("frame exceeds the size limit") from None
+        except ConnectionError as exc:
+            raise DistError("broker connection lost: %s" % exc) from None
+        if not line:
+            raise DistError("broker closed the connection")
+        frame = decode_frame(line)
+        if frame["type"] == "error":
+            raise DistError("broker error: %s" % frame.get("error"))
+        if frame["type"] == "stopping":
+            raise DistError("broker is stopping")
+        return frame
+
+    async def _request(self, message, expect: str) -> Dict[str, Any]:
+        await self._write(message)
+        frame = await self._read()
+        if frame["type"] != expect:
+            raise DistError(
+                "expected %r from broker, got %r" % (expect, frame["type"])
+            )
+        return frame
+
+    # ---------------------------------------------------------------- submit
+    async def submit_stream(
+        self,
+        jobs: List[Dict[str, Any]],
+        options: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+        park_timeout: float = 60.0,
+    ) -> AsyncIterator[Tuple[str, Dict[str, Any]]]:
+        """Submit ``jobs`` (wire dicts from :func:`~repro.dist.protocol.
+        encode_job`) and yield ``(job_id, wire_report)`` as verdicts
+        arrive.  Parked submits retry until ``park_timeout`` elapses;
+        shed submits raise :class:`BrokerShed`."""
+        submit = {
+            "type": "submit",
+            "jobs": jobs,
+            "options": options or {},
+            "priority": priority,
+        }
+        deadline = time.monotonic() + park_timeout
+        # submit/park loop (parked is a valid reply, not an error)
+        while True:
+            await self._write(submit)
+            reply = await self._read()
+            kind = reply["type"]
+            if kind == "accepted":
+                break
+            if kind == "parked":
+                if time.monotonic() >= deadline:
+                    raise BrokerShed(
+                        "submit parked past the %gs park timeout" % park_timeout
+                    )
+                await asyncio.sleep(float(reply.get("retry_after") or 0.05))
+                continue
+            if kind == "shed":
+                raise BrokerShed(str(reply.get("error") or "submit shed"))
+            raise DistError("unexpected %r reply to submit" % kind)
+        outstanding = {wire["job_id"] for wire in jobs}
+        while outstanding:
+            frame = await self._read()
+            if frame["type"] != "verdict":
+                raise DistError(
+                    "expected a verdict frame, got %r" % frame["type"]
+                )
+            job_id = frame.get("job_id")
+            if job_id not in outstanding:
+                continue  # duplicate delivery; first one won
+            outstanding.discard(job_id)
+            yield job_id, frame.get("report") or {}
+
+    # ----------------------------------------------------------------- cache
+    async def cache_get(self, key: str) -> Optional[Dict[str, Any]]:
+        frame = await self._request(
+            {"type": "cache_get", "key": key}, expect="cache_entry"
+        )
+        entry = frame.get("entry")
+        return entry if isinstance(entry, dict) else None
+
+    async def cache_put(self, entry: Dict[str, Any]) -> None:
+        """Fire-and-forget write-behind put (no response frame, so it is
+        safe to call while a verdict stream is active)."""
+        await self._write({"type": "cache_put", "entry": entry})
+
+    async def cache_stats(self) -> Dict[str, Any]:
+        return await self._request({"type": "cache_stats"}, expect="cache_stats")
+
+    async def stats(self) -> Dict[str, Any]:
+        frame = await self._request({"type": "stats"}, expect="stats")
+        return frame.get("stats") or {}
+
+
+class BrokerClient:
+    """Synchronous facade over :class:`AsyncBrokerClient` for blocking
+    callers; owns a private event loop and steps the verdict stream one
+    item per ``run_until_complete``."""
+
+    def __init__(self, host: str, port: int):
+        self._loop = asyncio.new_event_loop()
+        self._async = AsyncBrokerClient(host, port)
+        self.welcome: Dict[str, Any] = {}
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._async.cache_enabled
+
+    def connect(self) -> Dict[str, Any]:
+        self.welcome = self._loop.run_until_complete(self._async.connect())
+        return self.welcome
+
+    def close(self) -> None:
+        if not self._loop.is_closed():
+            self._loop.run_until_complete(self._async.close())
+            self._loop.close()
+
+    def submit_iter(
+        self,
+        jobs: List[Dict[str, Any]],
+        options: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+        park_timeout: float = 60.0,
+    ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        agen = self._async.submit_stream(
+            jobs, options=options, priority=priority, park_timeout=park_timeout
+        )
+        while True:
+            try:
+                yield self._loop.run_until_complete(agen.__anext__())
+            except StopAsyncIteration:
+                return
+
+    def cache_get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._loop.run_until_complete(self._async.cache_get(key))
+
+    def cache_put(self, entry: Dict[str, Any]) -> None:
+        self._loop.run_until_complete(self._async.cache_put(entry))
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return self._loop.run_until_complete(self._async.cache_stats())
+
+    def stats(self) -> Dict[str, Any]:
+        return self._loop.run_until_complete(self._async.stats())
+
+    def __enter__(self):
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+class RemoteProofCache:
+    """The broker's shared proof cache, duck-typed as a local
+    :class:`~repro.engine.cache.ProofCache` for the scheduler."""
+
+    def __init__(self, client: BrokerClient):
+        self._client = client
+        #: entries this client rejected on read (checksum / format); the
+        #: scheduler folds this into ``manifest.cache_quarantined``
+        self.quarantined_session = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        entry = self._client.cache_get(key)
+        if entry is None:
+            return None
+        if entry.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        if entry.get("checksum") != entry_checksum(entry):
+            # damaged in flight or at rest past the broker's own checks;
+            # treat as a miss and recompute (never trust a bad checksum)
+            self.quarantined_session += 1
+            return None
+        if not entry.get("final"):
+            return None
+        return entry
+
+    def put(
+        self,
+        key: str,
+        job_id: str,
+        payload: Any,
+        results: list,
+        final: bool = True,
+    ) -> bool:
+        if not final:
+            return False
+        entry = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "job_id": job_id,
+            "created": time.time(),
+            "final": True,
+            "payload": payload,
+            "results": results,
+        }
+        entry["checksum"] = entry_checksum(entry)
+        self._client.cache_put(entry)
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        return self._client.cache_stats()

@@ -1,0 +1,140 @@
+"""DistScheduler: the engine's scheduler with broker-backed dispatch.
+
+The distributed path earns byte-parity by *inheriting* it.  This class
+subclasses :class:`~repro.engine.scheduler.JobScheduler` and overrides
+exactly two hooks:
+
+* ``_make_cache`` returns a :class:`~repro.dist.client.RemoteProofCache`
+  when the broker advertises a shared cache (falling back to the local
+  ``cache_dir`` / no cache otherwise), so cache replay -- including the
+  UNDETERMINED-never-cached and checksum-or-miss rules -- runs the
+  parent's unchanged code against the shared store;
+* ``_execute_iter`` ships the pending jobs to the broker and yields
+  ``(job, key, report)`` as verdicts stream back, in completion order,
+  exactly the contract the in-process pool dispatcher fulfils.
+
+Everything downstream of those hooks -- checkpoint/resume, stats
+folding, manifest accounting, failure/quarantine handling, worker span
+re-rooting under the run span -- is the parent's code, which is what
+the localhost parity suite (``tests/test_dist.py``) pins: a broker plus
+two worker nodes must produce the same canonical μPATH sets, SynthLC
+labels, and reconciling manifests as ``--jobs 2``.
+
+Worker options that cross the wire are whitelisted
+(:func:`~repro.dist.protocol.worker_options`): retry policy, deadlines,
+span collection.  Fault plans never travel -- chaos is armed on the node
+that should suffer it (``repro worker --fault-plan``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..engine.scheduler import EngineConfig, JobScheduler
+from ..obs.metrics import REGISTRY
+from .client import BrokerClient, RemoteProofCache
+from .protocol import encode_job, report_from_wire, worker_options
+
+__all__ = ["parse_broker_address", "DistScheduler", "CacheOnlyScheduler"]
+
+_CLIENT_JOBS = REGISTRY.counter(
+    "repro_dist_client_jobs_total", "jobs a DistScheduler shipped / received"
+)
+
+
+def parse_broker_address(address: str) -> Tuple[str, int]:
+    """``HOST:PORT`` -> (host, port); a bare port means localhost."""
+    text = address.strip()
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", text
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise ValueError("invalid broker address %r (want HOST:PORT)" % address)
+
+
+class DistScheduler(JobScheduler):
+    """A JobScheduler whose dispatch goes through a campaign broker."""
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        broker: str = "127.0.0.1:7340",
+        priority: int = 0,
+        client: Optional[BrokerClient] = None,
+    ):
+        super().__init__(config)
+        self.broker_address = broker
+        self.priority = priority
+        self._client = client
+        self._owns_client = client is None
+
+    # ------------------------------------------------------------ connection
+    def _ensure_client(self) -> BrokerClient:
+        if self._client is None:
+            host, port = parse_broker_address(self.broker_address)
+            self._client = BrokerClient(host, port)
+            self._client.connect()
+        elif not self._client.welcome:
+            self._client.connect()
+        return self._client
+
+    def close(self) -> None:
+        if self._client is not None and self._owns_client:
+            self._client.close()
+            self._client = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # ---------------------------------------------------------------- hooks
+    def _make_cache(self):
+        """The broker's shared cache when it has one; the parent's local
+        behaviour otherwise (so a cache-less broker still benefits from
+        a client-side ``--cache-dir``)."""
+        client = self._ensure_client()
+        if client.cache_enabled:
+            return RemoteProofCache(client)
+        return super()._make_cache()
+
+    def _execute_iter(self, pending, log, manifest):
+        """Ship pending jobs to the broker; yield verdicts as they stream."""
+        if not pending:
+            return
+        client = self._ensure_client()
+        for _seq, job, _key in pending:
+            log.event("job_start", job=job.job_id)
+        by_id = {job.job_id: (job, key) for _seq, job, key in pending}
+        wire_jobs = [
+            dict(encode_job(job), seq=seq) for seq, job, _key in pending
+        ]
+        options = worker_options(self._worker_kwargs(log))
+        _CLIENT_JOBS.inc(len(wire_jobs), direction="submitted")
+        log.event(
+            "dist_submit",
+            jobs=len(wire_jobs),
+            broker=self.broker_address,
+            priority=self.priority,
+        )
+        for job_id, wire_report in client.submit_iter(
+            wire_jobs, options=options, priority=self.priority
+        ):
+            job, key = by_id[job_id]
+            report = report_from_wire(wire_report, job)
+            _CLIENT_JOBS.inc(direction="completed")
+            yield job, key, report
+
+
+class CacheOnlyScheduler(DistScheduler):
+    """Local dispatch, shared remote cache (``synth-all --cache-server``).
+
+    Jobs run in this machine's process pool exactly as ``--jobs N``
+    would; only the proof cache is broker-backed, so several machines
+    can share one store's verdicts without routing work through the
+    broker."""
+
+    _execute_iter = JobScheduler._execute_iter

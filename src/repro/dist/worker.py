@@ -1,0 +1,345 @@
+"""The worker node daemon: the scheduler's worker loop behind a socket.
+
+A node connects to the broker, registers its capabilities (``slots`` --
+how many jobs it executes concurrently), heartbeats, and executes the
+``run`` batches the broker dispatches.  Two execution modes:
+
+* ``process`` (the daemon default): a local ``ProcessPoolExecutor`` of
+  ``slots`` workers.  Each batch -- one group chunk, thanks to the
+  broker's sticky sharding -- runs as a unit through the scheduler's own
+  :func:`~repro.engine.scheduler._run_job_group`, so the pool child's
+  memoized design builders and shared incremental induction pool drain
+  the whole batch exactly as a local ``--jobs N`` worker would, SIGALRM
+  deadlines included.  A child death (OOM-kill, injected chaos) breaks
+  the pool; the node reports ``batch_failed`` -- handing the poison /
+  quarantine / re-shard decision to the broker -- and rebuilds its pool.
+
+* ``inline``: jobs run on executor threads inside the daemon process.
+  No process churn, so the localhost integration tests can spin up two
+  nodes per test cheaply; wall-clock deadlines are disabled (SIGALRM is
+  main-thread-only) and a simulated :class:`InjectedWorkerDeath` fails
+  the rest of the batch just like a real child death would.
+
+Fault plans are armed node-side (``repro worker --fault-plan``): chaos
+is a property of the machine that should suffer it, never shipped over
+the wire by a client.
+
+Graceful shutdown (SIGTERM / SIGINT, or a broker ``drain`` frame): the
+node tells the broker it is draining (so nothing new is dispatched and
+its groups re-shard), finishes the batches it already accepted, streams
+their results, and says goodbye -- the broker requeues nothing, and the
+campaign's verdicts are unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import os
+import signal
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine.scheduler import _run_job_group, _run_job_with_retries
+from ..faults import InjectedWorkerDeath
+from ..obs.metrics import REGISTRY
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    decode_job,
+    encode_frame,
+    worker_options,
+)
+
+__all__ = ["WorkerNode", "run_worker"]
+
+_BATCHES = REGISTRY.counter(
+    "repro_dist_worker_batches_total", "worker node batches, by disposition"
+)
+
+#: the scheduler's retry-policy defaults; broker-shipped options override
+_DEFAULT_OPTIONS: Dict[str, Any] = {
+    "max_attempts": 3,
+    "timeout_seconds": None,
+    "escalation_factor": 4,
+    "collect_spans": False,
+    "max_rss_mb": None,
+}
+
+
+class WorkerNode:
+    """One worker node; ``await run()`` serves until drained or dropped."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        slots: int = 1,
+        mode: str = "process",
+        fault_plan=None,
+        node_id: Optional[str] = None,
+        heartbeat_seconds: float = 2.0,
+    ):
+        if mode not in ("process", "inline"):
+            raise ValueError("mode must be 'process' or 'inline'")
+        self.host = host
+        self.port = port
+        self.slots = max(1, slots)
+        self.mode = mode
+        self.fault_plan = fault_plan
+        self.node_id = node_id or "pid-%d" % os.getpid()
+        self.heartbeat_seconds = heartbeat_seconds
+        self.jobs_done = 0
+        self.batches_failed = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._batches: set = set()
+        self._draining = False
+
+    # ------------------------------------------------------------------- I/O
+    def _send(self, message: Dict[str, Any]) -> None:
+        if self._writer is None:
+            return
+        try:
+            self._writer.write(encode_frame(message))
+        except (ProtocolError, ConnectionError, RuntimeError):
+            pass
+
+    async def _read_frame(self):
+        try:
+            line = await self._reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise ProtocolError("frame exceeds the size limit") from None
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
+        if not line:
+            return None
+        return decode_frame(line)
+
+    # ------------------------------------------------------------------- run
+    async def run(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_FRAME_BYTES
+        )
+        self._send(
+            {
+                "type": "hello",
+                "role": "worker",
+                "version": PROTOCOL_VERSION,
+                "node": self.node_id,
+                "slots": self.slots,
+            }
+        )
+        welcome = await self._read_frame()
+        if welcome is None or welcome["type"] != "welcome":
+            raise ProtocolError(
+                "broker refused registration: %r" % (welcome,)
+            )
+        if self.mode == "process":
+            self._pool = ProcessPoolExecutor(max_workers=self.slots)
+        heartbeat = asyncio.ensure_future(self._heartbeat())
+        try:
+            while True:
+                frame = await self._read_frame()
+                if frame is None:
+                    break
+                kind = frame["type"]
+                if kind == "run":
+                    task = asyncio.ensure_future(self._run_batch(frame))
+                    self._batches.add(task)
+                    task.add_done_callback(self._batches.discard)
+                elif kind == "drain":
+                    await self.drain()
+                    break
+                elif kind in ("error", "stopping"):
+                    break
+                # anything else from the broker is ignorable chatter
+        finally:
+            heartbeat.cancel()
+            if self._batches:
+                for task in list(self._batches):
+                    task.cancel()
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+
+    async def drain(self) -> None:
+        """Graceful exit: stop accepting work, finish in-flight batches,
+        stream their results, then say goodbye."""
+        if self._draining:
+            return
+        self._draining = True
+        self._send({"type": "draining"})
+        while self._batches:
+            await asyncio.gather(*list(self._batches), return_exceptions=True)
+        self._send({"type": "goodbye"})
+
+    async def _heartbeat(self) -> None:
+        while True:
+            await asyncio.sleep(self.heartbeat_seconds)
+            self._send({"type": "heartbeat"})
+
+    # ----------------------------------------------------------------- batch
+    def _batch_kwargs(self, options: Dict[str, Any]) -> Dict[str, Any]:
+        kwargs = dict(_DEFAULT_OPTIONS)
+        kwargs.update(worker_options(options))
+        kwargs["fault_plan"] = self.fault_plan
+        return kwargs
+
+    async def _run_batch(self, frame) -> None:
+        jobs = frame.get("jobs")
+        if not isinstance(jobs, list) or not jobs:
+            return
+        tags = [wire.get("tag") for wire in jobs if isinstance(wire, dict)]
+        try:
+            decoded: List[Tuple[str, int, Any]] = []
+            for index, wire in enumerate(jobs):
+                if not isinstance(wire, dict):
+                    raise ProtocolError("run frame job is not an object")
+                seq = wire.get("seq")
+                decoded.append(
+                    (
+                        wire.get("tag"),
+                        seq if isinstance(seq, int) else index,
+                        decode_job(wire),
+                    )
+                )
+            options = frame.get("options")
+            kwargs = self._batch_kwargs(options if isinstance(options, dict) else {})
+        except ProtocolError as exc:
+            self._batch_failed(tags, "undecodable batch: %s" % exc)
+            return
+        if self.mode == "process":
+            await self._run_batch_process(decoded, kwargs, tags)
+        else:
+            await self._run_batch_inline(decoded, kwargs)
+
+    async def _run_batch_process(self, decoded, kwargs, tags) -> None:
+        from ..dist import protocol
+
+        loop = asyncio.get_event_loop()
+        entries = [(seq, job) for _tag, seq, job in decoded]
+        pool = self._pool
+        try:
+            reports = await loop.run_in_executor(
+                pool, functools.partial(_run_job_group, entries, **kwargs)
+            )
+        except BrokenProcessPool:
+            self._batch_failed(tags, "worker process died")
+            if self._pool is pool and not self._draining:
+                pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = ProcessPoolExecutor(max_workers=self.slots)
+            return
+        except InjectedWorkerDeath as exc:
+            self._batch_failed(tags, "injected worker death: %s" % exc)
+            return
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._batch_failed(tags, "batch crashed: %s" % exc)
+            return
+        for (tag, _seq, job), report in zip(decoded, reports):
+            self.jobs_done += 1
+            self._send(
+                {
+                    "type": "result",
+                    "tag": tag,
+                    "job_id": job.job_id,
+                    "report": protocol.report_to_wire(report, job),
+                }
+            )
+        _BATCHES.inc(disposition="completed")
+
+    async def _run_batch_inline(self, decoded, kwargs) -> None:
+        """Thread-executor mode: per-job dispatch so verdicts stream as
+        they finish; a simulated death fails the batch's remainder the
+        way a real child death loses the whole batch."""
+        from ..dist import protocol
+
+        loop = asyncio.get_event_loop()
+        for index, (tag, seq, job) in enumerate(decoded):
+            try:
+                report = await loop.run_in_executor(
+                    None,
+                    functools.partial(
+                        _run_job_with_retries, job, job_seq=seq, **kwargs
+                    ),
+                )
+            except InjectedWorkerDeath as exc:
+                self._batch_failed(
+                    [t for t, _s, _j in decoded[index:]],
+                    "injected worker death: %s" % exc,
+                )
+                return
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                self._batch_failed(
+                    [t for t, _s, _j in decoded[index:]],
+                    "batch crashed: %s" % exc,
+                )
+                return
+            self.jobs_done += 1
+            self._send(
+                {
+                    "type": "result",
+                    "tag": tag,
+                    "job_id": job.job_id,
+                    "report": protocol.report_to_wire(report, job),
+                }
+            )
+        _BATCHES.inc(disposition="completed")
+
+    def _batch_failed(self, tags, error: str) -> None:
+        self.batches_failed += 1
+        _BATCHES.inc(disposition="failed")
+        self._send(
+            {
+                "type": "batch_failed",
+                "tags": [t for t in tags if t is not None],
+                "error": error,
+            }
+        )
+
+
+def run_worker(
+    host: str,
+    port: int,
+    slots: int = 1,
+    mode: str = "process",
+    fault_plan=None,
+    node_id: Optional[str] = None,
+    heartbeat_seconds: float = 2.0,
+) -> None:
+    """Run one worker node until the broker drops it or a signal drains
+    it (the ``repro worker`` CLI entry point)."""
+    node = WorkerNode(
+        host,
+        port,
+        slots=slots,
+        mode=mode,
+        fault_plan=fault_plan,
+        node_id=node_id,
+        heartbeat_seconds=heartbeat_seconds,
+    )
+
+    async def _main():
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(node.drain())
+                )
+            except (NotImplementedError, RuntimeError):
+                pass
+        await node.run()
+
+    asyncio.run(_main())

@@ -280,3 +280,54 @@ class ProofCache:
                 if f.endswith(".json") and not f.startswith(".tmp-")
             )
         return count
+
+    def stats(self) -> Dict[str, Any]:
+        """One-pass store summary: entry/byte counts, quarantine totals.
+
+        This is the broker's cache observability surface (served over the
+        wire and by ``repro cache-info``), so it reads only directory
+        metadata -- entries are counted and sized, never parsed.
+        """
+        entries = entry_bytes = 0
+        quarantined = quarantined_bytes = 0
+        oldest = newest = None
+        try:
+            for name in os.listdir(self.quarantine_dir):
+                if name.startswith("."):
+                    continue
+                quarantined += 1
+                try:
+                    quarantined_bytes += os.path.getsize(
+                        os.path.join(self.quarantine_dir, name)
+                    )
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        for dirpath, dirnames, filenames in os.walk(self.cache_dir):
+            if self.QUARANTINE_DIR in dirnames:
+                dirnames.remove(self.QUARANTINE_DIR)
+            for name in filenames:
+                if not name.endswith(".json") or name.startswith(".tmp-"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                entries += 1
+                entry_bytes += info.st_size
+                if oldest is None or info.st_mtime < oldest:
+                    oldest = info.st_mtime
+                if newest is None or info.st_mtime > newest:
+                    newest = info.st_mtime
+        return {
+            "cache_dir": self.cache_dir,
+            "format": CACHE_FORMAT_VERSION,
+            "entries": entries,
+            "entry_bytes": entry_bytes,
+            "quarantined": quarantined,
+            "quarantined_bytes": quarantined_bytes,
+            "oldest_entry": round(oldest, 6) if oldest is not None else None,
+            "newest_entry": round(newest, 6) if newest is not None else None,
+        }

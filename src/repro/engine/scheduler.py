@@ -280,7 +280,13 @@ def _deadline(seconds: Optional[float]):
     fires inside the inner body -- the timeout is then attributed to the
     inner scope, but it is never lost.)
     """
-    if not seconds or not hasattr(signal, "SIGALRM"):
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        # signal handlers can only be installed from the main thread; the
+        # distributed worker's inline (threaded) mode runs without deadlines
+        or threading.current_thread() is not threading.main_thread()
+    ):
         yield
         return
 
@@ -545,7 +551,7 @@ class JobScheduler:
         own_log = telemetry is None
         log = telemetry if telemetry is not None else TelemetryLog(cfg.trace_path)
         manifest = RunManifest(workers=cfg.workers)
-        cache = ProofCache(cfg.cache_dir) if cfg.cache_dir else None
+        cache = self._make_cache()
         checkpoint = RunCheckpoint(cfg.run_dir) if cfg.run_dir else None
         resumed = checkpoint.open(resume=cfg.resume) if checkpoint else {}
         results_by_id: Dict[str, Any] = {}
@@ -611,12 +617,28 @@ class JobScheduler:
                 pending.append((seq, job, key))
 
             run_span_id = run_span.span_id if run_span is not None else None
-            for job, key, report in self._execute_iter(pending, log, manifest):
-                self._fold_report(
-                    job, key, report, cache, stats, manifest, log,
-                    results_by_id, failures, run_span_id=run_span_id,
-                    checkpoint=checkpoint,
+            try:
+                for job, key, report in self._execute_iter(pending, log, manifest):
+                    self._fold_report(
+                        job, key, report, cache, stats, manifest, log,
+                        results_by_id, failures, run_span_id=run_span_id,
+                        checkpoint=checkpoint,
+                    )
+            except KeyboardInterrupt:
+                # a clean Ctrl-C must never leave a torn run dir: every
+                # report folded so far (including ones the dispatcher
+                # salvaged from already-finished workers) is synced to the
+                # checkpoint before the interrupt propagates, so a later
+                # --resume replays exactly the completed prefix
+                manifest.interrupted = True
+                log.event(
+                    "run_interrupted",
+                    jobs_done=len(results_by_id),
+                    jobs_total=manifest.jobs_total,
                 )
+                if checkpoint is not None:
+                    checkpoint.sync()
+                raise
             if cache is not None:
                 manifest.cache_quarantined = cache.quarantined_session
             manifest.wall_seconds = time.perf_counter() - started
@@ -665,6 +687,12 @@ class JobScheduler:
         _ENGINE_RUN_SECONDS.observe(manifest.wall_seconds)
 
     # ------------------------------------------------------------ internals
+    def _make_cache(self):
+        """Build this run's proof cache (hook: the distributed scheduler
+        substitutes a broker-backed remote cache here)."""
+        cfg = self.config
+        return ProofCache(cfg.cache_dir) if cfg.cache_dir else None
+
     def _replay_hit(self, job, key, entry, stats, manifest, log, results_by_id):
         from ..mc.outcomes import CheckResult
 
@@ -838,17 +866,36 @@ class JobScheduler:
                     )
                     for batch in batches
                 ]
-                for future, batch in submitted:
-                    try:
-                        reports = future.result()
-                    except (BrokenProcessPool, CancelledError):
-                        # a worker died; every job of every unfinished
-                        # batch is implicated (the pool cannot name the
-                        # actual killer)
-                        lost.extend(batch)
-                        continue
-                    for (seq, job, key), report in zip(batch, reports):
-                        yield job, key, report
+                consumed = set()
+                try:
+                    for index, (future, batch) in enumerate(submitted):
+                        consumed.add(index)
+                        try:
+                            reports = future.result()
+                        except (BrokenProcessPool, CancelledError):
+                            # a worker died; every job of every unfinished
+                            # batch is implicated (the pool cannot name the
+                            # actual killer)
+                            lost.extend(batch)
+                            continue
+                        for (seq, job, key), report in zip(batch, reports):
+                            yield job, key, report
+                except KeyboardInterrupt:
+                    # Ctrl-C drains, not discards: batches that finished
+                    # before the interrupt are salvaged and yielded (the
+                    # run loop folds and checkpoints them), queued work is
+                    # cancelled, and the interrupt continues unwinding
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    for index, (future, batch) in enumerate(submitted):
+                        if index in consumed or not future.done():
+                            continue
+                        try:
+                            reports = future.result()
+                        except Exception:
+                            continue
+                        for (seq, job, key), report in zip(batch, reports):
+                            yield job, key, report
+                    raise
             remaining = lost
             if lost:
                 manifest.pool_rebuilds += 1

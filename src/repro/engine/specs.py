@@ -35,10 +35,13 @@ __all__ = [
     "ProviderSpec",
     "SynthesisJob",
     "SynthLCJob",
+    "ReachJob",
     "infer_design_spec",
     "infer_provider_spec",
     "synthesis_jobs_for",
     "synthlc_jobs_for",
+    "reach_jobs_for_design",
+    "reach_jobs_for_corpus",
 ]
 
 # bump when job semantics or cached payload encodings change: old proof
@@ -425,6 +428,175 @@ class SynthLCJob:
     @staticmethod
     def value_is_final(value) -> bool:
         return True  # finality is decided by the UNDETERMINED scan alone
+
+
+# ---------------------------------------------------------------- reach jobs
+@lru_cache(maxsize=32)
+def _built_fuzz_design(design_json: str):
+    """Per-worker memoized build of a fuzz-generator design.
+
+    Keyed by the reproducer's canonical JSON, so every probe job the
+    scheduler batches onto one worker for the same design reuses one
+    elaborated netlist.
+    """
+    import json
+
+    from ..fuzz.gen import build_design, spec_from_dict
+
+    return build_design(spec_from_dict(json.loads(design_json)))
+
+
+@dataclass(frozen=True)
+class ReachJob:
+    """One named-signal reachability check on a fuzz-generator design.
+
+    The workload the contract-synthesis direction needs: a stream of
+    small, independent verification queries over generated designs.  The
+    design travels as its reproducer JSON (the exact artifact
+    ``repro fuzz`` shrinks to), so any node can rebuild it
+    deterministically; the verdict is BMC-first (a horizon-bounded
+    witness search) with a k-induction proof attempt when no witness is
+    found -- the same ladder the fuzz oracle's kinduction family uses.
+
+    Unlike :class:`SynthesisJob`, reach jobs never share a proof context
+    between properties: every execute builds fresh solver state, so the
+    verdict stream is independent of how a scheduler or broker groups
+    the jobs (the distributed parity suite leans on exactly this).
+    """
+
+    design_json: str  # canonical JSON of a fuzz DesignSpec dict
+    probe: str  # named 1-bit signal to prove reachable/unreachable
+    design_label: str
+    horizon: int = 4
+    k: int = 2
+    conflict_budget: int = 200000
+
+    @property
+    def job_id(self) -> str:
+        return "reach:%s:%s" % (self.design_label, self.probe)
+
+    def group_key(self) -> str:
+        """One group per design: a worker drains a design's probes
+        against its single memoized netlist build."""
+        import hashlib
+
+        digest = hashlib.sha256(self.design_json.encode("utf-8")).hexdigest()
+        return "reach:%s" % digest[:16]
+
+    def execute(self):
+        from ..faults import injection_point
+        from ..mc import REACHABLE, BmcContext
+        from ..mc.kinduction import prove_unreachable_kinduction
+        from ..props import Eventually, Query, sig
+
+        injection_point("job.execute", job=self.job_id)
+        design = _built_fuzz_design(self.design_json)
+        netlist = design.netlist
+        bmc = BmcContext(
+            netlist, horizon=self.horizon, conflict_budget=self.conflict_budget
+        )
+        result = bmc.check(
+            Query("reach_%s" % self.probe, Eventually(sig(self.probe)))
+        )
+        results = [result]
+        if result.outcome != REACHABLE and netlist.registers:
+            from ..mc import UNREACHABLE
+
+            proof = prove_unreachable_kinduction(
+                netlist,
+                sig(self.probe),
+                k=self.k,
+                conflict_budget=self.conflict_budget,
+            )
+            if proof.outcome == UNREACHABLE:
+                # the induction proof decides the query; the bounded
+                # probe it supersedes must not linger as an UNDETERMINED
+                # verdict, or the proof would never enter the cache
+                results = [proof]
+            else:
+                results.append(proof)
+            result = proof
+        return (result.outcome, result.detail), results
+
+    def escalated(self, attempt: int, factor: int) -> "ReachJob":
+        from dataclasses import replace
+
+        return replace(
+            self, conflict_budget=self.conflict_budget * (factor ** attempt)
+        )
+
+    def cache_key(self) -> str:
+        import hashlib
+
+        return content_key(
+            schema=SCHEMA_VERSION,
+            tool="reach",
+            template="bmc-then-kinduction-v1",
+            design=hashlib.sha256(self.design_json.encode("utf-8")).hexdigest(),
+            probe=self.probe,
+            horizon=self.horizon,
+            k=self.k,
+            conflict_budget=self.conflict_budget,
+        )
+
+    @staticmethod
+    def encode_value(value):
+        return [value[0], value[1]]
+
+    @staticmethod
+    def decode_value(payload):
+        return (payload[0], payload[1])
+
+    @staticmethod
+    def value_is_final(value) -> bool:
+        return True  # finality is decided by the UNDETERMINED scan alone
+
+
+def reach_jobs_for_design(spec, label: str, horizon: int = 4, k: int = 2,
+                          conflict_budget: int = 200000) -> List[ReachJob]:
+    """One :class:`ReachJob` per probe of one fuzz design spec."""
+    from ..fuzz.gen import build_design, spec_to_dict
+
+    from .cache import canonical_json
+
+    design_json = canonical_json(spec_to_dict(spec))
+    design = build_design(spec)
+    return [
+        ReachJob(
+            design_json=design_json,
+            probe=probe,
+            design_label=label,
+            horizon=horizon,
+            k=k,
+            conflict_budget=conflict_budget,
+        )
+        for probe in design.probe_names
+    ]
+
+
+def reach_jobs_for_corpus(corpus_dir: str, horizon: int = 4, k: int = 2,
+                          conflict_budget: int = 200000) -> List[ReachJob]:
+    """Reach jobs for every reproducer JSON under ``corpus_dir``.
+
+    The committed fuzz corpus becomes a ready-made multi-design
+    verification campaign: ~16 designs x ~3 probes of independent jobs,
+    grouped per design -- the shape the distributed runner shards.
+    """
+    import glob
+    import os
+
+    from ..fuzz.campaign import load_reproducer
+
+    jobs: List[ReachJob] = []
+    for path in sorted(glob.glob(os.path.join(corpus_dir, "*.json"))):
+        label = os.path.splitext(os.path.basename(path))[0]
+        jobs.extend(
+            reach_jobs_for_design(
+                load_reproducer(path), label, horizon=horizon, k=k,
+                conflict_budget=conflict_budget,
+            )
+        )
+    return jobs
 
 
 @lru_cache(maxsize=None)

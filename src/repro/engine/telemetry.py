@@ -113,6 +113,7 @@ class RunManifest:
     outcomes: Counter = field(default_factory=Counter)
     wall_seconds: float = 0.0
     workers: int = 1
+    interrupted: bool = False  # run stopped early by a clean Ctrl-C
 
     @property
     def properties_total(self) -> int:
@@ -157,6 +158,7 @@ class RunManifest:
             "outcomes": dict(self.outcomes),
             "wall_seconds": round(self.wall_seconds, 6),
             "workers": self.workers,
+            "interrupted": self.interrupted,
         }
 
     def reconciles(self, stats) -> bool:
