@@ -1,0 +1,201 @@
+"""Fleet-tracing overhead bench: distributed campaign, tracing off vs on.
+
+Runs the same two-instruction ``synthesize_all`` campaign over a
+localhost broker with two worker nodes twice per repeat -- once with
+tracing disabled and once with a full ``--trace`` stream (span
+collection on the workers, cross-node span propagation, node branding,
+metric pushes) -- takes the min over repeats (the OBS_BENCH
+methodology), asserts the traced fleet run stays within the 10%
+overhead budget, and records the numbers to ``DIST_OBS_BENCH.json``.
+
+No shared cache is configured, so both arms do full solver work on
+every run; the delta isolates the observability machinery.  The traced
+run must also hold the fleet guarantees CI checks: trace integrity,
+span-set parity is covered by ``tests/test_dist_obs.py``, full node
+attribution of checker time, and SS VII-B3 reconciliation.
+"""
+
+import asyncio
+import os
+import threading
+import time
+
+from repro.core import Rtl2MuPath
+from repro.designs import ContextFamilyConfig, CoreContextProvider, build_core
+from repro.dist import Broker, BrokerConfig, DistScheduler, WorkerNode
+from repro.engine import EngineConfig
+from repro.obs import TraceProfile
+
+from conftest import print_banner, record_bench_json
+
+FAMILY = ContextFamilyConfig(
+    horizon=24,
+    neighbors=("DIV",),
+    iuv_values=(0, 1),
+    neighbor_values=(0, 1),
+    include_deep=False,
+)
+INSTRS = ("ADD", "DIV")
+REPEATS = 3
+OVERHEAD_BUDGET = 0.10
+
+
+class _BrokerThread:
+    """A broker on an ephemeral port, served from a daemon thread."""
+
+    def __init__(self):
+        self.broker = Broker(BrokerConfig())
+        self.loop = None
+        self.port = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def _serve(self):
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        self._stop = asyncio.Event()
+
+        async def main():
+            await self.broker.start()
+            self.port = self.broker.port
+            self._ready.set()
+            await self._stop.wait()
+            await self.broker.stop()
+
+        try:
+            self.loop.run_until_complete(main())
+        finally:
+            self.loop.close()
+
+    def start(self):
+        self._thread.start()
+        assert self._ready.wait(30), "broker failed to start"
+        return self
+
+    def stop(self):
+        if self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(120)
+
+    def fleet(self):
+        async def _snap():
+            return self.broker.fleet_dict()
+
+        return asyncio.run_coroutine_threadsafe(_snap(), self.loop).result(30)
+
+
+def _start_worker(port, node_id):
+    node = WorkerNode(
+        "127.0.0.1", port, slots=1, mode="inline", node_id=node_id,
+        heartbeat_seconds=0.5,
+    )
+    thread = threading.Thread(
+        target=lambda: asyncio.run(node.run()), daemon=True
+    )
+    thread.start()
+    return thread
+
+
+def _make_tool():
+    design = build_core()
+    provider = CoreContextProvider(xlen=design.config.xlen, config=FAMILY)
+    return Rtl2MuPath(design, provider)
+
+
+def _run(port, trace_path=None):
+    tool = _make_tool()
+    engine = DistScheduler(
+        EngineConfig(jobs=2, trace_path=trace_path),
+        broker="127.0.0.1:%d" % port,
+    )
+    started = time.perf_counter()
+    try:
+        results = tool.synthesize_all(list(INSTRS), engine=engine)
+    finally:
+        engine.close()
+    return time.perf_counter() - started, results, tool
+
+
+def test_fleet_tracing_overhead_under_budget(tmp_path, benchmark):
+    harness = _BrokerThread().start()
+    try:
+        _start_worker(harness.port, "obs-1")
+        _start_worker(harness.port, "obs-2")
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and len(harness.broker._nodes) < 2:
+            time.sleep(0.01)
+        assert len(harness.broker._nodes) == 2, "workers failed to register"
+
+        # warm up imports / solver caches so neither arm pays first-run costs
+        _run(harness.port)
+
+        plain_s = []
+        traced_s = []
+        baseline_results = None
+        last_trace = None
+        for i in range(REPEATS):
+            elapsed, results, _tool = _run(harness.port)
+            plain_s.append(elapsed)
+            if baseline_results is None:
+                baseline_results = results
+
+            trace_path = str(tmp_path / ("fleet-%d.jsonl" % i))
+            elapsed, results, tool = _run(harness.port, trace_path=trace_path)
+            traced_s.append(elapsed)
+            last_trace = (trace_path, tool)
+            for name in INSTRS:
+                assert results[name] == baseline_results[name], name
+        fleet = harness.fleet()
+    finally:
+        harness.stop()
+
+    best_plain = min(plain_s)
+    best_traced = min(traced_s)
+    overhead = best_traced / best_plain - 1.0
+
+    # the traced fleet run must hold the guarantees CI checks
+    trace_path, tool = last_trace
+    profile = TraceProfile.load(trace_path)
+    assert profile.ok, profile.errors
+    assert profile.is_distributed
+    assert profile.unattributed_check_seconds() == 0.0
+    assert profile.reconciles_total_time(tool.stats.total_time)
+    worker_nodes = sorted(set(profile.per_node()) - {"local"})
+    assert worker_nodes, "no worker-attributed spans in the fleet trace"
+    # and the broker saw metric pushes from both nodes
+    assert set(fleet["metrics"]) == {"obs-1", "obs-2"}
+
+    print_banner("FLEET TRACING OVERHEAD (distributed, tracing off vs on)")
+    print("workload        : synth-all %s over broker + 2 nodes (min of %d)"
+          % ("+".join(INSTRS), REPEATS))
+    print("tracing off     : %.4f s" % best_plain)
+    print("tracing on      : %.4f s" % best_traced)
+    print("overhead        : %+.2f%%  (budget %.0f%%)"
+          % (overhead * 100.0, OVERHEAD_BUDGET * 100.0))
+    print("trace spans     : %d on nodes %s (integrity ok, reconciles)"
+          % (len(profile.spans), ",".join(worker_nodes)))
+
+    record_bench_json(
+        "DIST_OBS_BENCH.json",
+        {
+            "workload": "synthesize_all %s over broker + 2 inline worker "
+                        "nodes, no shared cache (both arms cold)" % (INSTRS,),
+            "repeats": REPEATS,
+            "cpu_count": os.cpu_count(),
+            "tracing_off_s": round(best_plain, 6),
+            "tracing_on_s": round(best_traced, 6),
+            "overhead_fraction": round(overhead, 6),
+            "overhead_budget": OVERHEAD_BUDGET,
+            "trace_spans": len(profile.spans),
+            "trace_ok": profile.ok,
+            "worker_nodes": worker_nodes,
+            "unattributed_check_seconds": 0.0,
+            "metric_push_nodes": sorted(fleet["metrics"]),
+        },
+    )
+
+    assert overhead < OVERHEAD_BUDGET, (
+        "fleet tracing overhead %.2f%% exceeds the %.0f%% budget"
+        % (overhead * 100.0, OVERHEAD_BUDGET * 100.0)
+    )

@@ -68,11 +68,19 @@ Commands:
   backpressure (park/shed), node quarantine, and an optional shared
   proof cache (``--cache-dir``; read-through gets, write-behind puts
   flushed on shutdown).  SIGTERM/SIGINT drain gracefully.
+  ``--metrics-port N`` serves the fleet-merged Prometheus registry
+  (broker gauges plus every worker's pushed snapshot, tagged by node).
 
 * ``worker`` -- run one worker node against a broker: registers its
   ``--slots``, heartbeats, executes dispatched job batches in a local
   process pool, and streams results back.  ``--fault-plan`` arms chaos
   on this node only.  SIGTERM/SIGINT finish in-flight batches first.
+  ``--metrics-port N`` serves the node's own registry.
+
+* ``top`` -- live fleet dashboard over a running broker: per-node
+  throughput, cache hit rate, ETA, slowest in-flight jobs, and the
+  join/leave/quarantine event ring.  ``--once --json`` emits a single
+  machine-readable sample for scripting and CI.
 
 * ``cache-info DIR`` -- summarize a proof-cache directory (entry and
   quarantine counts, sizes, age range); ``--json`` for machine output.
@@ -103,7 +111,8 @@ Commands:
     JSON rendering of the span tree (opens in ``ui.perfetto.dev``);
   * ``--check`` -- exit non-zero if the trace is malformed (unbalanced
     or mis-nested spans, events without timestamps) or the checker-time
-    reconciliation fails; used by CI.
+    reconciliation fails; on merged fleet traces it additionally fails
+    when any checker time lacks a ``node_id`` attribution.  Used by CI.
 
 The CLI is a thin veneer over the library; see ``examples/`` for richer
 workflows.
@@ -383,6 +392,7 @@ def cmd_broker(args):
     import signal as signal_mod
 
     from .dist import Broker, BrokerConfig
+    from .obs import start_metrics_server
 
     config = BrokerConfig(
         host=args.host,
@@ -410,6 +420,19 @@ def cmd_broker(args):
             ),
             flush=True,
         )
+        server = None
+        if args.metrics_port is not None:
+            # the fleet registry merges the broker's own counters with
+            # every worker's pushed snapshot, so one scrape endpoint
+            # covers the whole campaign
+            server = start_metrics_server(
+                args.metrics_port, registry=broker.fleet
+            )
+            print(
+                "serving fleet metrics on http://127.0.0.1:%d/metrics"
+                % server.server_address[1],
+                flush=True,
+            )
         stop = asyncio.Event()
         loop = asyncio.get_event_loop()
         for signum in (signal_mod.SIGTERM, signal_mod.SIGINT):
@@ -420,6 +443,8 @@ def cmd_broker(args):
         await stop.wait()
         print("broker draining (inflight jobs, write-behind cache)...")
         await broker.stop()
+        if server is not None:
+            server.shutdown()
         counts = broker.stats_counts
         print(
             "broker stopped: %d job(s) completed, %d cache put(s) flushed"
@@ -457,6 +482,18 @@ def cmd_worker(args):
             "fault plan armed on this node: %s (%d spec(s))"
             % (args.fault_plan, len(fault_plan.specs))
         )
+    server = None
+    if args.metrics_port is not None:
+        from .obs import start_metrics_server
+
+        # the node's own registry: solver counters, cache hits, batch
+        # wait -- the same snapshot it pushes to the broker's fleet view
+        server = start_metrics_server(args.metrics_port)
+        print(
+            "serving node metrics on http://127.0.0.1:%d/metrics"
+            % server.server_address[1],
+            flush=True,
+        )
     print(
         "worker connecting to %s:%d (slots=%d, node=%s)"
         % (host, port, args.slots, args.node_id or "pid-default"),
@@ -475,6 +512,9 @@ def cmd_worker(args):
     except (ConnectionError, OSError) as exc:
         print("worker connection failed: %s" % exc)
         return 1
+    finally:
+        if server is not None:
+            server.shutdown()
     print("worker drained; exiting")
     return 0
 
@@ -488,10 +528,14 @@ def cmd_cache_info(args):
     if not os.path.isdir(args.dir):
         print("error: %s is not a directory" % args.dir)
         return 2
-    stats = ProofCache(args.dir).stats()
     if args.json:
+        # the JSON view adds per-node provenance rows (entries tagged by
+        # the worker node that produced them); the text view keeps the
+        # cheap stat()-only walk
+        stats = ProofCache(args.dir).stats(per_node=True)
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
+    stats = ProofCache(args.dir).stats()
     import datetime
 
     def _when(ts):
@@ -585,7 +629,26 @@ def cmd_profile(args):
             if not profile.reconciles_total_time(float(stats["total_time"])):
                 print("trace FAILED checker-time reconciliation")
                 return 1
+        if profile.is_distributed:
+            unattributed = profile.unattributed_check_seconds()
+            if unattributed > 1e-4:
+                print(
+                    "trace FAILED fleet attribution: %.6fs of checker "
+                    "time carries no node_id" % unattributed
+                )
+                return 1
     return 0
+
+
+def cmd_top(args):
+    from .dist.top import run_top
+
+    return run_top(
+        args.broker,
+        interval=args.interval,
+        once=args.once,
+        as_json=args.json,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -704,6 +767,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--job-poison-limit", type=int, default=2, metavar="N",
                    help="node-failure implications before a job is "
                         "quarantined as a failed report")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="N",
+                   help="serve fleet-merged Prometheus metrics on "
+                        "127.0.0.1:N/metrics (0 = ephemeral; broker "
+                        "counters plus every worker's pushed snapshot)")
     p.set_defaults(func=cmd_broker)
 
     p = sub.add_parser(
@@ -725,7 +792,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-plan", default=None, metavar="FILE",
                    help="arm a JSON fault-injection plan on this node "
                         "(chaos is never shipped over the wire)")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="N",
+                   help="serve this node's Prometheus metrics on "
+                        "127.0.0.1:N/metrics (0 = ephemeral)")
     p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "top",
+        help="live fleet dashboard over a running broker",
+    )
+    p.add_argument("--broker", default="127.0.0.1:7340", metavar="HOST:PORT",
+                   help="broker address (default 127.0.0.1:7340)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                   help="refresh interval in streaming mode (default 2.0)")
+    p.add_argument("--once", action="store_true",
+                   help="print a single sample and exit")
+    p.add_argument("--json", action="store_true",
+                   help="with --once: emit the raw fleet sample plus "
+                        "derived rates/ETA as JSON (for scripting and CI)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
         "cache-info",

@@ -13,6 +13,9 @@ central broker, with a shared proof cache and streaming verdicts:
   tests), with heartbeats and graceful drain;
 * :mod:`repro.dist.client` -- async + sync client APIs and the
   broker-backed :class:`~repro.dist.client.RemoteProofCache`;
+* :mod:`repro.dist.top` -- the `repro top` live fleet dashboard
+  (per-node throughput, cache hit rate, ETA, slowest inflight,
+  quarantine events) over the broker's ``fleet`` frame;
 * :mod:`repro.dist.scheduler` -- :class:`DistScheduler`, a
   :class:`~repro.engine.scheduler.JobScheduler` whose dispatch goes
   through a broker.  Everything else -- cache replay, checkpoint /
@@ -45,11 +48,16 @@ from .protocol import (
     report_to_wire,
 )
 from .scheduler import CacheOnlyScheduler, DistScheduler, parse_broker_address
+from .top import derive, fetch_fleet, render_fleet, run_top
 from .worker import WorkerNode, run_worker
 
 __all__ = [
     "Broker",
     "BrokerConfig",
+    "derive",
+    "fetch_fleet",
+    "render_fleet",
+    "run_top",
     "AsyncBrokerClient",
     "BrokerClient",
     "BrokerShed",

@@ -49,10 +49,12 @@ import heapq
 import os
 import tempfile
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..engine.cache import CACHE_FORMAT_VERSION, ProofCache, entry_checksum
+from ..obs.fleet import FleetRegistry
 from ..obs.metrics import REGISTRY
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -81,6 +83,20 @@ _BAD_FRAMES = REGISTRY.counter(
 )
 _QUEUE_DEPTH = REGISTRY.gauge(
     "repro_dist_queue_depth", "jobs currently queued at the broker"
+)
+_QUEUE_DEPTH_PRIO = REGISTRY.gauge(
+    "repro_dist_queue_depth_priority",
+    "jobs currently queued at the broker, by priority",
+)
+_INFLIGHT = REGISTRY.gauge(
+    "repro_dist_inflight", "jobs in flight, by worker node"
+)
+_QUARANTINE_SIZE = REGISTRY.gauge(
+    "repro_dist_quarantine_size", "node ids currently quarantined"
+)
+_WB_BACKLOG = REGISTRY.gauge(
+    "repro_dist_write_behind_backlog",
+    "cache puts acknowledged but not yet persisted",
 )
 
 
@@ -112,6 +128,7 @@ class _JobEntry:
     wire: Dict[str, Any]
     options: Dict[str, Any]
     poison: int = 0
+    dispatched_at: float = 0.0  # monotonic; 0 while queued
 
 
 @dataclass
@@ -156,6 +173,13 @@ class Broker:
             ProofCache(self.config.cache_dir) if self.config.cache_dir else None
         )
         self._wb_queue: Optional[asyncio.Queue] = None
+        # fleet observability: per-node metric pushes, a recent-events
+        # ring for the dashboard, and per-priority queue depth counters
+        self.fleet = FleetRegistry(local=REGISTRY)
+        self.events: deque = deque(maxlen=64)
+        self.started_at: Optional[float] = None
+        self._started_mono: Optional[float] = None
+        self._queued_by_priority: Dict[int, int] = {}
         # counters surfaced by the `stats` frame (and asserted by tests)
         self.stats_counts: Dict[str, int] = {
             "submitted": 0,
@@ -181,6 +205,8 @@ class Broker:
             self._handle, cfg.host, cfg.port, limit=MAX_FRAME_BYTES
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        self._started_mono = time.monotonic()
         self._tasks.append(asyncio.ensure_future(self._sweep_heartbeats()))
         if self._cache is not None:
             self._wb_queue = asyncio.Queue()
@@ -280,6 +306,36 @@ class Broker:
             except Exception:
                 pass
 
+    # -------------------------------------------------------- fleet telemetry
+    def _note_event(self, kind: str, **fields) -> None:
+        """Append to the bounded recent-events ring `repro top` renders."""
+        event = {"ts": time.time(), "event": kind}
+        event.update(fields)
+        self.events.append(event)
+
+    def _queue_push(self, entry: _JobEntry) -> None:
+        entry.dispatched_at = 0.0
+        heapq.heappush(self._queue, (-entry.priority, entry.seq, entry))
+        count = self._queued_by_priority.get(entry.priority, 0) + 1
+        self._queued_by_priority[entry.priority] = count
+        _QUEUE_DEPTH.set(len(self._queue))
+        _QUEUE_DEPTH_PRIO.set(count, priority=str(entry.priority))
+
+    def _queue_pop(self) -> Tuple[int, int, _JobEntry]:
+        item = heapq.heappop(self._queue)
+        entry = item[2]
+        count = max(0, self._queued_by_priority.get(entry.priority, 0) - 1)
+        self._queued_by_priority[entry.priority] = count
+        _QUEUE_DEPTH.set(len(self._queue))
+        _QUEUE_DEPTH_PRIO.set(count, priority=str(entry.priority))
+        return item
+
+    def _update_quarantine_gauge(self) -> None:
+        limit = self.config.node_poison_limit
+        _QUARANTINE_SIZE.set(
+            sum(1 for c in self._node_poison.values() if c >= limit)
+        )
+
     # ---------------------------------------------------------------- workers
     async def _serve_worker(self, hello, reader, writer) -> None:
         self._node_seq += 1
@@ -295,6 +351,8 @@ class Broker:
         )
         self._nodes[node_id] = node
         _NODES.inc(event="joined")
+        self._note_event("node_joined", node=node_id, slots=node.slots,
+                         quarantined=node.quarantined)
         self._send(
             writer,
             {
@@ -316,10 +374,13 @@ class Broker:
                     continue
                 if kind == "result":
                     self._on_result(node, frame)
+                elif kind == "metrics":
+                    self._on_metrics(node, frame)
                 elif kind == "batch_failed":
                     self._on_batch_failed(node, frame)
                 elif kind == "draining":
                     node.draining = True
+                    self._note_event("node_draining", node=node_id)
                     self._reshard_away(node_id)
                 elif kind == "goodbye":
                     break
@@ -331,8 +392,22 @@ class Broker:
             if self._nodes.get(node_id) is node:
                 del self._nodes[node_id]
             _NODES.inc(event="left")
+            self._note_event(
+                "node_left", node=node_id, inflight_lost=len(node.inflight)
+            )
             self._node_lost(node)
+            _INFLIGHT.set(0, node=node_id)
             self._pump()
+
+    def _on_metrics(self, node: _Node, frame) -> None:
+        """Fold one worker metrics push into the fleet registry.
+
+        Replace-on-update (last snapshot wins), so duplicated pushes and
+        reconnects under the same node_id never double-count."""
+        snapshot = frame.get("snapshot")
+        if not isinstance(snapshot, dict):
+            raise ProtocolError("metrics frame carries no snapshot object")
+        self.fleet.update(node.node_id, snapshot, frame.get("process"))
 
     def _node_lost(self, node: _Node) -> None:
         """A node vanished: requeue or quarantine its in-flight jobs and
@@ -346,6 +421,8 @@ class Broker:
         if count == self.config.node_poison_limit:
             self.stats_counts["quarantined_nodes"] += 1
             _NODES.inc(event="quarantined")
+            self._note_event("node_quarantined", node=node.node_id)
+        self._update_quarantine_gauge()
         for entry in node.inflight.values():
             self._implicate(entry)
         node.inflight.clear()
@@ -361,6 +438,9 @@ class Broker:
         if entry.poison >= self.config.job_poison_limit:
             self.stats_counts["quarantined_jobs"] += 1
             _JOBS.inc(disposition="quarantined")
+            self._note_event(
+                "job_quarantined", job_id=entry.job_id, poison=entry.poison
+            )
             self._deliver(
                 entry,
                 {
@@ -377,8 +457,7 @@ class Broker:
             return
         self.stats_counts["requeued"] += 1
         _JOBS.inc(disposition="requeued")
-        heapq.heappush(self._queue, (-entry.priority, entry.seq, entry))
-        _QUEUE_DEPTH.set(len(self._queue))
+        self._queue_push(entry)
 
     def _on_result(self, node: _Node, frame) -> None:
         tag = frame.get("tag")
@@ -391,6 +470,7 @@ class Broker:
         node.completed += 1
         self.stats_counts["completed"] += 1
         _JOBS.inc(disposition="completed")
+        _INFLIGHT.set(len(node.inflight), node=node.node_id)
         self._deliver(entry, report)
         self._pump()
 
@@ -410,7 +490,10 @@ class Broker:
             node.quarantined = True
             self.stats_counts["quarantined_nodes"] += 1
             _NODES.inc(event="quarantined")
+            self._note_event("node_quarantined", node=node.node_id)
             self._reshard_away(node.node_id)
+        self._update_quarantine_gauge()
+        _INFLIGHT.set(len(node.inflight), node=node.node_id)
         for entry in implicated:
             self._implicate(entry)
         self._pump()
@@ -433,6 +516,7 @@ class Broker:
             for node in list(self._nodes.values()):
                 if node.last_seen < cutoff:
                     _NODES.inc(event="evicted")
+                    self._note_event("node_evicted", node=node.node_id)
                     # closing the transport pops the node out of its read
                     # loop, which runs the shared _node_lost cleanup
                     node.writer.close()
@@ -468,6 +552,10 @@ class Broker:
                 elif kind == "stats":
                     self._send(
                         writer, {"type": "stats", "stats": self.stats_dict()}
+                    )
+                elif kind == "fleet":
+                    self._send(
+                        writer, {"type": "fleet", "fleet": self.fleet_dict()}
                     )
                 elif kind == "goodbye":
                     break
@@ -538,10 +626,9 @@ class Broker:
                 )
             )
         for entry in entries:
-            heapq.heappush(self._queue, (-entry.priority, entry.seq, entry))
+            self._queue_push(entry)
         self.stats_counts["submitted"] += len(entries)
         _SUBMITS.inc(disposition="accepted")
-        _QUEUE_DEPTH.set(len(self._queue))
         self._send(client.writer, {"type": "accepted", "count": len(entries)})
         self._pump()
 
@@ -573,18 +660,21 @@ class Broker:
         ]
         if not active:
             return
-        leftover: List[Tuple[int, int, _JobEntry]] = []
+        leftover: List[_JobEntry] = []
         batches: Dict[Tuple[str, int], List[Tuple[str, _JobEntry]]] = {}
+        touched: set = set()
+        now = time.monotonic()
         while self._queue:
-            item = heapq.heappop(self._queue)
-            entry = item[2]
+            entry = self._queue_pop()[2]
             node = self._route(entry.group, active)
             if node is None or len(node.inflight) >= self._node_capacity(node):
-                leftover.append(item)
+                leftover.append(entry)
                 continue
             tag = "t%d" % entry.seq
+            entry.dispatched_at = now
             node.inflight[tag] = entry
             node.dispatched += 1
+            touched.add(node.node_id)
             node.max_inflight_observed = max(
                 node.max_inflight_observed, len(node.inflight)
             )
@@ -596,9 +686,12 @@ class Broker:
             batches.setdefault((node.node_id, id(entry.options)), []).append(
                 (tag, entry)
             )
-        for item in leftover:
-            heapq.heappush(self._queue, item)
-        _QUEUE_DEPTH.set(len(self._queue))
+        for entry in leftover:
+            self._queue_push(entry)
+        for node_id in touched:
+            node = self._nodes.get(node_id)
+            if node is not None:
+                _INFLIGHT.set(len(node.inflight), node=node_id)
         for (node_id, _opts), pairs in batches.items():
             node = self._nodes.get(node_id)
             if node is None:
@@ -640,6 +733,7 @@ class Broker:
         if not isinstance(entry, dict):
             raise ProtocolError("cache_put frame carries no entry object")
         self._wb_queue.put_nowait(entry)
+        _WB_BACKLOG.set(self._wb_queue.qsize())
 
     async def _write_behind(self) -> None:
         while True:
@@ -651,6 +745,7 @@ class Broker:
                 _CACHE_REQS.inc(op="put_rejected")
             finally:
                 self._wb_queue.task_done()
+                _WB_BACKLOG.set(self._wb_queue.qsize())
 
     def _store_entry(self, entry: Dict[str, Any]) -> None:
         """Persist one client-supplied cache entry, re-verifying its
@@ -727,4 +822,38 @@ class Broker:
                 ),
             },
             "counts": dict(self.stats_counts),
+        }
+
+    def fleet_dict(self) -> Dict[str, Any]:
+        """Everything `repro top` renders, in one JSON-safe frame:
+        routing stats, per-node metric pushes, the oldest in-flight jobs,
+        and the recent-events ring."""
+        now = time.monotonic()
+        inflight = [
+            (entry, node.node_id)
+            for node in self._nodes.values()
+            for entry in node.inflight.values()
+            if entry.dispatched_at
+        ]
+        inflight.sort(key=lambda pair: pair[0].dispatched_at)
+        return {
+            "ts": time.time(),
+            "uptime_seconds": (
+                round(now - self._started_mono, 3)
+                if self._started_mono is not None
+                else 0.0
+            ),
+            "stats": self.stats_dict(),
+            "metrics": self.fleet.nodes(),
+            "fleet_totals": self.fleet.merged_totals(),
+            "slowest_inflight": [
+                {
+                    "job_id": entry.job_id,
+                    "group": entry.group,
+                    "node": node_id,
+                    "age_seconds": round(now - entry.dispatched_at, 3),
+                }
+                for entry, node_id in inflight[:5]
+            ],
+            "events": list(self.events),
         }

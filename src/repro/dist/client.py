@@ -201,6 +201,13 @@ class AsyncBrokerClient:
         frame = await self._request({"type": "stats"}, expect="stats")
         return frame.get("stats") or {}
 
+    async def fleet(self) -> Dict[str, Any]:
+        """One fleet-observability sample: routing stats, per-node metric
+        pushes, slowest inflight jobs, recent events (`repro top` polls
+        this)."""
+        frame = await self._request({"type": "fleet"}, expect="fleet")
+        return frame.get("fleet") or {}
+
 
 class BrokerClient:
     """Synchronous facade over :class:`AsyncBrokerClient` for blocking
@@ -253,6 +260,9 @@ class BrokerClient:
     def stats(self) -> Dict[str, Any]:
         return self._loop.run_until_complete(self._async.stats())
 
+    def fleet(self) -> Dict[str, Any]:
+        return self._loop.run_until_complete(self._async.fleet())
+
     def __enter__(self):
         self.connect()
         return self
@@ -293,6 +303,7 @@ class RemoteProofCache:
         payload: Any,
         results: list,
         final: bool = True,
+        node_id: Optional[str] = None,
     ) -> bool:
         if not final:
             return False
@@ -305,6 +316,9 @@ class RemoteProofCache:
             "payload": payload,
             "results": results,
         }
+        if node_id:
+            entry["node"] = node_id
+        # checksum last: it must cover the node attribution too
         entry["checksum"] = entry_checksum(entry)
         self._client.cache_put(entry)
         return True

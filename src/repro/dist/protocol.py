@@ -245,6 +245,7 @@ def report_to_wire(report, job) -> Dict[str, Any]:
         "results": [r.to_dict() for r in report.results],
         "attempts": [dataclasses.asdict(a) for a in report.attempts],
         "spans": [[kind, fields] for kind, fields in report.spans],
+        "node": getattr(report, "node_id", None),
     }
 
 
@@ -271,6 +272,7 @@ def report_from_wire(wire: Dict[str, Any], job) -> Any:
         ]
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError("malformed wire report: %s" % exc) from None
+    node = wire.get("node")
     return WorkerReport(
         job_id=wire.get("job_id") or job.job_id,
         value=value,
@@ -279,6 +281,7 @@ def report_from_wire(wire: Dict[str, Any], job) -> Any:
         error=error,
         quarantined=bool(wire.get("quarantined")),
         spans=spans,
+        node_id=node if isinstance(node, str) else None,
     )
 
 
@@ -288,6 +291,11 @@ def worker_options(kwargs: Dict[str, Any]) -> Dict[str, Any]:
     Fault plans are deliberately not shipped: chaos injection is armed on
     the node that should suffer it (``repro worker --fault-plan``), not
     dictated by a remote client.
+
+    The filter also runs worker-side on received run options, so keys
+    that ride in the options dict but are not scheduler kwargs (the
+    ``trace`` context a tracing client attaches) are dropped here
+    instead of leaking into ``_run_job_with_retries``.
     """
     allowed = (
         "max_attempts",

@@ -32,6 +32,7 @@ from typing import Optional, Tuple
 
 from ..engine.scheduler import EngineConfig, JobScheduler
 from ..obs.metrics import REGISTRY
+from ..obs.tracer import TraceContext
 from .client import BrokerClient, RemoteProofCache
 from .protocol import encode_job, report_from_wire, worker_options
 
@@ -113,12 +114,21 @@ class DistScheduler(JobScheduler):
             dict(encode_job(job), seq=seq) for seq, job, _key in pending
         ]
         options = worker_options(self._worker_kwargs(log))
+        # cross-node span propagation: _execute_iter runs on the thread
+        # that opened the `engine.run` span, so capture() sees it; the
+        # context rides in the options dict (opaque to the broker,
+        # filtered out of scheduler kwargs worker-side) and workers
+        # re-root their span trees under it before reports ship back
+        trace = TraceContext.capture() if options.get("collect_spans") else None
+        if trace is not None:
+            options = dict(options, trace=trace.to_wire())
         _CLIENT_JOBS.inc(len(wire_jobs), direction="submitted")
         log.event(
             "dist_submit",
             jobs=len(wire_jobs),
             broker=self.broker_address,
             priority=self.priority,
+            trace_span=trace.span_id if trace is not None else None,
         )
         for job_id, wire_report in client.submit_iter(
             wire_jobs, options=options, priority=self.priority

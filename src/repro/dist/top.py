@@ -1,0 +1,255 @@
+"""`repro top`: a live text dashboard over the broker's fleet frame.
+
+Polls the broker's ``fleet`` request (routing stats + per-node metric
+pushes + slowest inflight + recent events) and renders a terminal
+dashboard: per-node throughput, fleet cache hit rate, an ETA computed
+from completed/remaining jobs, the oldest in-flight properties, and the
+quarantine/join/leave event ring.  ``--once`` takes a single sample
+(``--json`` emits it raw for scripting and CI gates); the default mode
+streams, redrawing every ``--interval`` seconds.
+
+Throughput is measured between consecutive samples (completed-count
+deltas over the poll interval); the first sample -- and ``--once`` --
+falls back to completed/uptime, which understates bursty campaigns but
+never fabricates a rate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from .client import BrokerClient, DistError
+from .scheduler import parse_broker_address
+
+__all__ = ["fetch_fleet", "derive", "render_fleet", "run_top"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_fleet(address: str) -> Dict[str, Any]:
+    """One fleet sample from a fresh connection (closed afterwards)."""
+    host, port = parse_broker_address(address)
+    with BrokerClient(host, port) as client:
+        return client.fleet()
+
+
+def _node_jobs_done(sample: Dict[str, Any], node_id: str) -> float:
+    """Completed-job count for one node: prefer the broker's routing view
+    (exact), fall back to the node's own pushed process block."""
+    nodes = sample.get("stats", {}).get("nodes", {})
+    if node_id in nodes:
+        return float(nodes[node_id].get("completed", 0))
+    process = sample.get("metrics", {}).get(node_id, {}).get("process", {})
+    value = process.get("jobs_done", 0)
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def derive(sample: Dict[str, Any],
+           prev: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Rates, ETA, and cache hit rate computed from one (or two) samples.
+
+    The returned dict is JSON-safe and merged into ``--once --json``
+    output, so CI can gate on it without re-deriving."""
+    counts = sample.get("stats", {}).get("counts", {})
+    completed = float(counts.get("completed", 0))
+    submitted = float(counts.get("submitted", 0))
+    quarantined = float(counts.get("quarantined_jobs", 0))
+    uptime = float(sample.get("uptime_seconds", 0) or 0)
+
+    if prev is not None:
+        dt = float(sample.get("ts", 0)) - float(prev.get("ts", 0))
+        prev_completed = float(
+            prev.get("stats", {}).get("counts", {}).get("completed", 0)
+        )
+        rate = (completed - prev_completed) / dt if dt > 0 else 0.0
+    else:
+        rate = completed / uptime if uptime > 0 else 0.0
+
+    remaining = max(0.0, submitted - completed - quarantined)
+    eta = remaining / rate if rate > 0 else None
+
+    gets = float(counts.get("cache_gets", 0))
+    hits = float(counts.get("cache_hits", 0))
+    hit_rate = hits / gets if gets > 0 else None
+
+    node_rates: Dict[str, float] = {}
+    node_ids = set(sample.get("stats", {}).get("nodes", {}))
+    node_ids.update(sample.get("metrics", {}))
+    for node_id in node_ids:
+        done = _node_jobs_done(sample, node_id)
+        if prev is not None:
+            dt = float(sample.get("ts", 0)) - float(prev.get("ts", 0))
+            delta = done - _node_jobs_done(prev, node_id)
+            node_rates[node_id] = delta / dt if dt > 0 else 0.0
+        else:
+            node_rates[node_id] = done / uptime if uptime > 0 else 0.0
+
+    return {
+        "rate_jobs_per_second": round(rate, 3),
+        "remaining_jobs": int(remaining),
+        "eta_seconds": round(eta, 1) if eta is not None else None,
+        "cache_hit_rate": round(hit_rate, 4) if hit_rate is not None else None,
+        "node_rates": {k: round(v, 3) for k, v in sorted(node_rates.items())},
+    }
+
+
+def _fmt_eta(eta: Optional[float]) -> str:
+    if eta is None:
+        return "--"
+    if eta >= 3600:
+        return "%dh%02dm" % (eta // 3600, (eta % 3600) // 60)
+    if eta >= 60:
+        return "%dm%02ds" % (eta // 60, eta % 60)
+    return "%.0fs" % eta
+
+
+def render_fleet(sample: Dict[str, Any],
+                 derived: Dict[str, Any],
+                 address: str) -> str:
+    """The dashboard screen as one string (no ANSI except the caller's
+    clear), so tests can assert on it and ``--once`` can print it."""
+    stats = sample.get("stats", {})
+    counts = stats.get("counts", {})
+    cache = stats.get("cache", {})
+    metrics = sample.get("metrics", {})
+    lines: List[str] = []
+    lines.append(
+        "repro top -- broker %s  up %ss  sampled %s"
+        % (
+            address,
+            int(sample.get("uptime_seconds", 0) or 0),
+            time.strftime("%H:%M:%S", time.localtime(sample.get("ts", 0))),
+        )
+    )
+    lines.append(
+        "jobs: %d submitted | %d completed | %d inflight | %d queued | "
+        "%d requeued | %d quarantined   ETA %s (%.1f jobs/s)"
+        % (
+            counts.get("submitted", 0),
+            counts.get("completed", 0),
+            stats.get("inflight", 0),
+            stats.get("queued", 0),
+            counts.get("requeued", 0),
+            counts.get("quarantined_jobs", 0),
+            _fmt_eta(derived.get("eta_seconds")),
+            derived.get("rate_jobs_per_second", 0.0),
+        )
+    )
+    hit_rate = derived.get("cache_hit_rate")
+    lines.append(
+        "cache: %s | %d gets, %d hits (%s) | %d puts | backlog %d"
+        % (
+            "shared" if cache.get("enabled") else "off",
+            counts.get("cache_gets", 0),
+            counts.get("cache_hits", 0),
+            "%.1f%%" % (hit_rate * 100) if hit_rate is not None else "--",
+            counts.get("cache_puts", 0),
+            cache.get("write_behind_pending", 0),
+        )
+    )
+    lines.append("")
+    lines.append(
+        "%-16s %5s %8s %9s %9s %8s %8s  %s"
+        % ("node", "slots", "inflight", "done", "jobs/s", "rss MB",
+           "props", "state")
+    )
+    node_ids = sorted(set(stats.get("nodes", {})) | set(metrics))
+    for node_id in node_ids:
+        routing = stats.get("nodes", {}).get(node_id, {})
+        pushed = metrics.get(node_id, {})
+        process = pushed.get("process", {}) if isinstance(pushed, dict) else {}
+        snapshot = (
+            pushed.get("snapshot", {}) if isinstance(pushed, dict) else {}
+        )
+        props = snapshot.get("repro_dist_node_properties_total", {})
+        props_data = props.get("data") if isinstance(props, dict) else None
+        if routing.get("quarantined"):
+            state = "QUARANTINED"
+        elif routing.get("draining"):
+            state = "draining"
+        elif node_id not in stats.get("nodes", {}):
+            state = "gone"
+        else:
+            state = "ok"
+        lines.append(
+            "%-16s %5s %8d %9d %9.1f %8.1f %8s  %s"
+            % (
+                node_id[:16],
+                routing.get("slots", process.get("slots", "?")),
+                routing.get("inflight", 0),
+                int(_node_jobs_done(sample, node_id)),
+                derived.get("node_rates", {}).get(node_id, 0.0),
+                float(process.get("rss_mb", 0) or 0),
+                (
+                    "%d" % props_data
+                    if isinstance(props_data, (int, float))
+                    else "-"
+                ),
+                state,
+            )
+        )
+    slowest = sample.get("slowest_inflight") or []
+    if slowest:
+        lines.append("")
+        lines.append("slowest inflight:")
+        for row in slowest:
+            lines.append(
+                "  %-40s %6.1fs on %s"
+                % (row.get("job_id", "?")[:40], row.get("age_seconds", 0),
+                   row.get("node", "?"))
+            )
+    events = sample.get("events") or []
+    if events:
+        lines.append("")
+        lines.append("recent events:")
+        for event in events[-8:]:
+            when = time.strftime(
+                "%H:%M:%S", time.localtime(event.get("ts", 0))
+            )
+            detail = " ".join(
+                "%s=%s" % (k, v)
+                for k, v in sorted(event.items())
+                if k not in ("ts", "event")
+            )
+            lines.append(
+                "  %s %-18s %s" % (when, event.get("event", "?"), detail)
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    address: str,
+    interval: float = 2.0,
+    once: bool = False,
+    as_json: bool = False,
+) -> int:
+    """The ``repro top`` entry point; returns a process exit code."""
+    try:
+        sample = fetch_fleet(address)
+    except (DistError, OSError) as exc:
+        print("repro top: cannot reach broker at %s: %s" % (address, exc))
+        return 1
+    derived = derive(sample)
+    if once:
+        if as_json:
+            print(json.dumps(dict(sample, derived=derived), sort_keys=True))
+        else:
+            print(render_fleet(sample, derived, address))
+        return 0
+    host, port = parse_broker_address(address)
+    try:
+        with BrokerClient(host, port) as client:
+            prev = sample
+            while True:
+                print(_CLEAR + render_fleet(sample, derived, address))
+                time.sleep(max(0.1, interval))
+                sample = client.fleet()
+                derived = derive(sample, prev)
+                prev = sample
+    except KeyboardInterrupt:
+        return 0
+    except (DistError, OSError) as exc:
+        print("repro top: broker connection lost: %s" % exc)
+        return 1

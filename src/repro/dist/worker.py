@@ -37,13 +37,19 @@ import asyncio
 import functools
 import os
 import signal
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..engine.scheduler import _run_job_group, _run_job_with_retries
+from ..engine.scheduler import (
+    _run_job_group,
+    _run_job_with_retries,
+    current_rss_mb,
+)
 from ..faults import InjectedWorkerDeath
 from ..obs.metrics import REGISTRY
+from ..obs.tracer import TraceContext, brand_spans
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -58,6 +64,24 @@ __all__ = ["WorkerNode", "run_worker"]
 
 _BATCHES = REGISTRY.counter(
     "repro_dist_worker_batches_total", "worker node batches, by disposition"
+)
+# node-level accounting fed from report contents, so the numbers are
+# identical in inline mode and process mode (where pool children own
+# their own registries that die with them)
+_NODE_JOBS = REGISTRY.counter(
+    "repro_dist_node_jobs_total", "jobs executed on this worker node"
+)
+_NODE_PROPERTIES = REGISTRY.counter(
+    "repro_dist_node_properties_total",
+    "properties evaluated on this worker node",
+)
+_NODE_CHECK_SECONDS = REGISTRY.counter(
+    "repro_dist_node_check_seconds_total",
+    "checker wall-clock seconds spent on this worker node",
+)
+_BATCH_WAIT = REGISTRY.histogram(
+    "repro_dist_node_batch_wait_seconds",
+    "delay between receiving a run frame and starting its batch",
 )
 
 #: the scheduler's retry-policy defaults; broker-shipped options override
@@ -82,6 +106,7 @@ class WorkerNode:
         fault_plan=None,
         node_id: Optional[str] = None,
         heartbeat_seconds: float = 2.0,
+        metrics_interval: float = 2.0,
     ):
         if mode not in ("process", "inline"):
             raise ValueError("mode must be 'process' or 'inline'")
@@ -92,6 +117,7 @@ class WorkerNode:
         self.fault_plan = fault_plan
         self.node_id = node_id or "pid-%d" % os.getpid()
         self.heartbeat_seconds = heartbeat_seconds
+        self.metrics_interval = metrics_interval
         self.jobs_done = 0
         self.batches_failed = 0
         self._reader: Optional[asyncio.StreamReader] = None
@@ -142,6 +168,8 @@ class WorkerNode:
         if self.mode == "process":
             self._pool = ProcessPoolExecutor(max_workers=self.slots)
         heartbeat = asyncio.ensure_future(self._heartbeat())
+        metrics = asyncio.ensure_future(self._metrics_loop())
+        self._push_metrics()
         try:
             while True:
                 frame = await self._read_frame()
@@ -149,6 +177,7 @@ class WorkerNode:
                     break
                 kind = frame["type"]
                 if kind == "run":
+                    frame["_received"] = time.monotonic()
                     task = asyncio.ensure_future(self._run_batch(frame))
                     self._batches.add(task)
                     task.add_done_callback(self._batches.discard)
@@ -160,6 +189,7 @@ class WorkerNode:
                 # anything else from the broker is ignorable chatter
         finally:
             heartbeat.cancel()
+            metrics.cancel()
             if self._batches:
                 for task in list(self._batches):
                     task.cancel()
@@ -180,12 +210,41 @@ class WorkerNode:
         self._send({"type": "draining"})
         while self._batches:
             await asyncio.gather(*list(self._batches), return_exceptions=True)
+        self._push_metrics()
         self._send({"type": "goodbye"})
 
     async def _heartbeat(self) -> None:
         while True:
             await asyncio.sleep(self.heartbeat_seconds)
             self._send({"type": "heartbeat"})
+
+    # --------------------------------------------------------------- metrics
+    def _push_metrics(self) -> None:
+        """Ship this node's metric state to the broker's fleet registry.
+
+        The push carries the *entire* current snapshot (not a delta), so
+        the broker's replace-on-update merge stays idempotent across
+        reconnects and duplicated pushes."""
+        self._send(
+            {
+                "type": "metrics",
+                "snapshot": REGISTRY.fleet_snapshot(),
+                "process": {
+                    "rss_mb": current_rss_mb() or 0.0,
+                    "jobs_done": self.jobs_done,
+                    "batches_failed": self.batches_failed,
+                    "slots": self.slots,
+                    "mode": self.mode,
+                },
+            }
+        )
+
+    async def _metrics_loop(self) -> None:
+        if self.metrics_interval <= 0:
+            return
+        while True:
+            await asyncio.sleep(self.metrics_interval)
+            self._push_metrics()
 
     # ----------------------------------------------------------------- batch
     def _batch_kwargs(self, options: Dict[str, Any]) -> Dict[str, Any]:
@@ -198,6 +257,9 @@ class WorkerNode:
         jobs = frame.get("jobs")
         if not isinstance(jobs, list) or not jobs:
             return
+        received = frame.get("_received")
+        if isinstance(received, float):
+            _BATCH_WAIT.observe(max(0.0, time.monotonic() - received))
         tags = [wire.get("tag") for wire in jobs if isinstance(wire, dict)]
         try:
             decoded: List[Tuple[str, int, Any]] = []
@@ -213,18 +275,20 @@ class WorkerNode:
                     )
                 )
             options = frame.get("options")
-            kwargs = self._batch_kwargs(options if isinstance(options, dict) else {})
+            if not isinstance(options, dict):
+                options = {}
+            kwargs = self._batch_kwargs(options)
+            trace = TraceContext.from_wire(options.get("trace"))
         except ProtocolError as exc:
             self._batch_failed(tags, "undecodable batch: %s" % exc)
             return
         if self.mode == "process":
-            await self._run_batch_process(decoded, kwargs, tags)
+            await self._run_batch_process(decoded, kwargs, tags, trace)
         else:
-            await self._run_batch_inline(decoded, kwargs)
+            await self._run_batch_inline(decoded, kwargs, trace)
+        self._push_metrics()
 
-    async def _run_batch_process(self, decoded, kwargs, tags) -> None:
-        from ..dist import protocol
-
+    async def _run_batch_process(self, decoded, kwargs, tags, trace) -> None:
         loop = asyncio.get_event_loop()
         entries = [(seq, job) for _tag, seq, job in decoded]
         pool = self._pool
@@ -247,23 +311,13 @@ class WorkerNode:
             self._batch_failed(tags, "batch crashed: %s" % exc)
             return
         for (tag, _seq, job), report in zip(decoded, reports):
-            self.jobs_done += 1
-            self._send(
-                {
-                    "type": "result",
-                    "tag": tag,
-                    "job_id": job.job_id,
-                    "report": protocol.report_to_wire(report, job),
-                }
-            )
+            self._send_result(tag, job, report, trace)
         _BATCHES.inc(disposition="completed")
 
-    async def _run_batch_inline(self, decoded, kwargs) -> None:
+    async def _run_batch_inline(self, decoded, kwargs, trace) -> None:
         """Thread-executor mode: per-job dispatch so verdicts stream as
         they finish; a simulated death fails the batch's remainder the
         way a real child death loses the whole batch."""
-        from ..dist import protocol
-
         loop = asyncio.get_event_loop()
         for index, (tag, seq, job) in enumerate(decoded):
             try:
@@ -287,16 +341,44 @@ class WorkerNode:
                     "batch crashed: %s" % exc,
                 )
                 return
-            self.jobs_done += 1
-            self._send(
-                {
-                    "type": "result",
-                    "tag": tag,
-                    "job_id": job.job_id,
-                    "report": protocol.report_to_wire(report, job),
-                }
-            )
+            self._send_result(tag, job, report, trace)
         _BATCHES.inc(disposition="completed")
+
+    def _send_result(self, tag, job, report, trace) -> None:
+        """Brand, account, and ship one report.
+
+        Spans are stamped with this node's identity and re-rooted under
+        the campaign's carried run span *before* they hit the wire, so
+        the client's merged trace attributes every span to its node and
+        needs no re-rooting of its own.
+        """
+        from ..dist import protocol
+
+        report.node_id = self.node_id
+        if report.spans:
+            brand_spans(
+                report.spans,
+                attrs={"node_id": self.node_id, "job_id": job.job_id},
+                reparent=trace.span_id if trace is not None else None,
+            )
+        self.jobs_done += 1
+        _NODE_JOBS.inc()
+        if report.results:
+            _NODE_PROPERTIES.inc(len(report.results))
+            _NODE_CHECK_SECONDS.inc(
+                sum(
+                    max(0.0, getattr(r, "time_seconds", 0.0) or 0.0)
+                    for r in report.results
+                )
+            )
+        self._send(
+            {
+                "type": "result",
+                "tag": tag,
+                "job_id": job.job_id,
+                "report": protocol.report_to_wire(report, job),
+            }
+        )
 
     def _batch_failed(self, tags, error: str) -> None:
         self.batches_failed += 1
@@ -318,6 +400,7 @@ def run_worker(
     fault_plan=None,
     node_id: Optional[str] = None,
     heartbeat_seconds: float = 2.0,
+    metrics_interval: float = 2.0,
 ) -> None:
     """Run one worker node until the broker drops it or a signal drains
     it (the ``repro worker`` CLI entry point)."""
@@ -329,6 +412,7 @@ def run_worker(
         fault_plan=fault_plan,
         node_id=node_id,
         heartbeat_seconds=heartbeat_seconds,
+        metrics_interval=metrics_interval,
     )
 
     async def _main():

@@ -192,6 +192,7 @@ class WorkerReport:
     error: Optional[str] = None  # set only when no attempt produced a value
     quarantined: bool = False  # job repeatedly killed its worker
     spans: List = field(default_factory=list)  # collected (kind, fields) events
+    node_id: Optional[str] = None  # worker node that executed it (dist runs)
 
 
 @dataclass
@@ -942,6 +943,9 @@ class JobScheduler:
         manifest.retries += max(0, len(report.attempts) - 1)
         manifest.timeouts += sum(1 for a in report.attempts if a.timed_out)
         manifest.rss_aborts += sum(1 for a in report.attempts if a.rss_exceeded)
+        # node attribution, present only on distributed reports -- local
+        # runs keep their event shapes (and traces) byte-stable
+        node_fields = {"node": report.node_id} if report.node_id else {}
         for record in report.attempts:
             log.event(
                 "job_attempt",
@@ -953,6 +957,7 @@ class JobScheduler:
                 timed_out=record.timed_out,
                 rss_exceeded=record.rss_exceeded,
                 error=record.error,
+                **node_fields,
             )
         if report.error is not None:
             manifest.jobs_failed += 1
@@ -961,7 +966,10 @@ class JobScheduler:
                 log.event(
                     "job_quarantined", job=report.job_id, error=report.error
                 )
-            log.event("job_failed", job=report.job_id, error=report.error)
+            log.event(
+                "job_failed", job=report.job_id, error=report.error,
+                **node_fields,
+            )
             failures.append("%s: %s" % (report.job_id, report.error))
             results_by_id[job.job_id] = None
             if checkpoint is not None:
@@ -976,6 +984,8 @@ class JobScheduler:
                 stats.record(result)
         manifest.jobs_executed += 1
         manifest.note_results(report.results, replayed=False)
+        if report.node_id:
+            manifest.note_node(report.node_id, report.results)
         histogram: Dict[str, int] = {}
         for result in report.results:
             histogram[result.outcome] = histogram.get(result.outcome, 0) + 1
@@ -986,6 +996,7 @@ class JobScheduler:
             verdicts=histogram,
             retries=max(0, len(report.attempts) - 1),
             seconds=round(sum(a.seconds for a in report.attempts), 6),
+            **node_fields,
         )
         if checkpoint is not None:
             from .serialize import check_results_to_dicts
@@ -1009,6 +1020,7 @@ class JobScheduler:
                     job.encode_value(report.value),
                     check_results_to_dicts(report.results),
                     final=True,
+                    node_id=report.node_id,
                 )
                 manifest.cache_stores += 1
                 log.event("cache_store", job=job.job_id, key=key)

@@ -26,6 +26,7 @@ pipelines wrap each phase in named spans; and
 the run trace.
 """
 
+from .fleet import FleetRegistry
 from .metrics import (
     Counter,
     Gauge,
@@ -40,8 +41,10 @@ from .tracer import (
     NULL_SPAN,
     Span,
     SpanCollector,
+    TraceContext,
     Tracer,
     activate,
+    brand_spans,
     current_span,
     current_tracer,
     deactivate,
@@ -77,6 +80,7 @@ def note_property(outcome: str, seconds: float) -> None:
 __all__ = [
     "note_property",
     "Counter",
+    "FleetRegistry",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -88,8 +92,10 @@ __all__ = [
     "NULL_SPAN",
     "Span",
     "SpanCollector",
+    "TraceContext",
     "Tracer",
     "activate",
+    "brand_spans",
     "current_span",
     "current_tracer",
     "deactivate",

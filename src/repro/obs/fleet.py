@@ -1,0 +1,205 @@
+"""Fleet-wide metrics aggregation for distributed campaigns.
+
+Worker nodes periodically push :meth:`MetricsRegistry.fleet_snapshot`
+dumps (typed counter/gauge/histogram state plus a small ``process``
+block: RSS, jobs done, slots) over their broker connection; the broker
+folds them into a :class:`FleetRegistry` keyed by ``node_id``.  The
+registry duck-types the two methods :func:`start_metrics_server` needs
+(``snapshot`` and ``to_prometheus``), so ``repro broker --metrics-port``
+serves one endpoint with three sections:
+
+* the broker's own local registry (queue depths, inflight, park/shed);
+* per-node metric samples re-exposed under a ``fleet_`` name prefix
+  with an injected ``node`` label (the prefix keeps exposition valid
+  when broker and workers register the same metric names, which they
+  do -- both import :mod:`repro.obs`);
+* synthesized per-node process gauges (``fleet_node_rss_mb``,
+  ``fleet_node_jobs_done``, ...).
+
+Updates *replace* a node's previous snapshot, so pushes are idempotent:
+a worker that reconnects (same ``node_id``) never double-counts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry, _render_labels, _format_value
+
+__all__ = ["FleetRegistry"]
+
+#: process-block fields re-exposed as fleet_node_<field> gauges
+_PROCESS_GAUGES = ("rss_mb", "jobs_done", "batches_failed", "slots")
+
+
+def _sample_rows(data: Any) -> List[Dict[str, Any]]:
+    """Normalize a counter/gauge snapshot to ``[{labels, value}, ...]``."""
+    if isinstance(data, list):
+        return [row for row in data if isinstance(row, dict)]
+    if isinstance(data, (int, float)):
+        return [{"labels": {}, "value": data}]
+    return []
+
+
+def _histogram_rows(data: Any) -> List[Dict[str, Any]]:
+    """Normalize a histogram snapshot to labeled rows."""
+    if isinstance(data, dict):
+        return [dict(data, labels={})]
+    if isinstance(data, list):
+        return [row for row in data if isinstance(row, dict)]
+    return []
+
+
+def _label_suffix(labels: Dict[str, Any], node: str,
+                  extra: Optional[Dict[str, str]] = None) -> str:
+    merged = {str(k): str(v) for k, v in (labels or {}).items()}
+    merged["node"] = node
+    if extra:
+        merged.update(extra)
+    return _render_labels(tuple(sorted(merged.items())))
+
+
+class FleetRegistry:
+    """Last-snapshot-wins aggregation of per-node metric pushes."""
+
+    def __init__(self, local: Optional[MetricsRegistry] = None):
+        self._local = local
+        self._nodes: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- ingestion
+    def update(self, node_id: str, snapshot: Any,
+               process: Any = None) -> None:
+        """Replace ``node_id``'s metrics with a fresh push (idempotent)."""
+        if not isinstance(snapshot, dict):
+            snapshot = {}
+        if not isinstance(process, dict):
+            process = {}
+        with self._lock:
+            self._nodes[str(node_id)] = {
+                "ts": time.time(),
+                "snapshot": snapshot,
+                "process": process,
+            }
+
+    def forget(self, node_id: str) -> None:
+        with self._lock:
+            self._nodes.pop(str(node_id), None)
+
+    # --------------------------------------------------------------- queries
+    def nodes(self) -> Dict[str, Dict[str, Any]]:
+        """Per-node ``{ts, snapshot, process}`` (shallow copy)."""
+        with self._lock:
+            return dict(self._nodes)
+
+    def merged_totals(self) -> Dict[str, float]:
+        """Sum of every counter across nodes (labels collapsed) -- the
+        fleet-level totals the dashboard renders.  Safe across
+        reconnects because each node contributes exactly one snapshot."""
+        totals: Dict[str, float] = {}
+        for entry in self.nodes().values():
+            for name, metric in entry["snapshot"].items():
+                if not isinstance(metric, dict) or metric.get("kind") != "counter":
+                    continue
+                value = sum(
+                    float(row.get("value", 0))
+                    for row in _sample_rows(metric.get("data"))
+                )
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    # --------------------------------------------- start_metrics_server duck
+    def snapshot(self) -> Dict[str, Any]:
+        local = self._local.snapshot() if self._local is not None else {}
+        return {"local": local, "nodes": self.nodes()}
+
+    def to_prometheus(self) -> str:
+        lines: List[str] = []
+        if self._local is not None:
+            lines.append(self._local.to_prometheus().rstrip("\n"))
+        nodes = self.nodes()
+        # group samples by metric name so each fleet_<name> family gets
+        # exactly one TYPE line, as the exposition format requires
+        families: Dict[str, Dict[str, Any]] = {}
+        for node_id in sorted(nodes):
+            snap = nodes[node_id]["snapshot"]
+            if not isinstance(snap, dict):
+                continue
+            for name in sorted(snap):
+                metric = snap[name]
+                if not isinstance(metric, dict):
+                    continue
+                family = families.setdefault(
+                    name,
+                    {"kind": metric.get("kind", "untyped"),
+                     "help": metric.get("help", ""), "samples": []},
+                )
+                family["samples"].append((node_id, metric.get("data")))
+        for name in sorted(families):
+            family = families[name]
+            fname = "fleet_%s" % name
+            if family["help"]:
+                lines.append("# HELP %s %s" % (fname, family["help"]))
+            lines.append("# TYPE %s %s" % (fname, family["kind"]))
+            for node_id, data in family["samples"]:
+                if family["kind"] == "histogram":
+                    lines.extend(self._expose_histogram(fname, node_id, data))
+                else:
+                    for row in _sample_rows(data):
+                        lines.append("%s%s %s" % (
+                            fname,
+                            _label_suffix(row.get("labels", {}), node_id),
+                            _format_value(float(row.get("value", 0))),
+                        ))
+        if nodes:
+            lines.append("# TYPE fleet_node_last_push_ts gauge")
+            for node_id in sorted(nodes):
+                lines.append("fleet_node_last_push_ts%s %s" % (
+                    _label_suffix({}, node_id),
+                    repr(float(nodes[node_id]["ts"])),
+                ))
+            for field in _PROCESS_GAUGES:
+                rows = [
+                    (node_id, nodes[node_id]["process"].get(field))
+                    for node_id in sorted(nodes)
+                    if isinstance(nodes[node_id]["process"].get(field),
+                                  (int, float))
+                ]
+                if not rows:
+                    continue
+                lines.append("# TYPE fleet_node_%s gauge" % field)
+                for node_id, value in rows:
+                    lines.append("fleet_node_%s%s %s" % (
+                        field, _label_suffix({}, node_id),
+                        _format_value(float(value)),
+                    ))
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _expose_histogram(fname: str, node_id: str, data: Any) -> List[str]:
+        lines: List[str] = []
+        for row in _histogram_rows(data):
+            labels = row.get("labels", {})
+            buckets = row.get("buckets", {})
+            cumulative = 0
+            try:
+                bounds = sorted(buckets, key=float)
+            except (TypeError, ValueError):
+                bounds = sorted(buckets)
+            for bound in bounds:
+                cumulative += int(buckets[bound])
+                lines.append("%s_bucket%s %d" % (
+                    fname, _label_suffix(labels, node_id, {"le": str(bound)}),
+                    cumulative,
+                ))
+            total = int(row.get("count", 0))
+            lines.append("%s_bucket%s %d" % (
+                fname, _label_suffix(labels, node_id, {"le": "+Inf"}), total))
+            lines.append("%s_sum%s %s" % (
+                fname, _label_suffix(labels, node_id),
+                repr(float(row.get("sum", 0.0)))))
+            lines.append("%s_count%s %d" % (
+                fname, _label_suffix(labels, node_id), total))
+        return lines

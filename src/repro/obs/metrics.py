@@ -275,6 +275,22 @@ class MetricsRegistry:
             for name, metric in sorted(self._metrics.items())
         }
 
+    def fleet_snapshot(self) -> Dict[str, Any]:
+        """Typed JSON-ready dump -- :meth:`snapshot` plus each metric's
+        kind and help text, so a receiver that never registered the
+        instruments (the broker's fleet registry) can still render them
+        in the right exposition family."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {
+            name: {
+                "kind": metric.kind,
+                "help": metric.help,
+                "data": metric.snapshot(),
+            }
+            for name, metric in sorted(metrics)
+        }
+
     def reset(self) -> None:
         """Drop every registered metric (test isolation helper)."""
         with self._lock:

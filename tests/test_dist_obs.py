@@ -1,0 +1,588 @@
+"""Fleet-wide observability: cross-node traces, metrics, dashboard.
+
+What this suite pins:
+
+* **span parity by construction** -- a broker + two inline worker nodes
+  produce a merged trace whose span-name multiset equals the in-process
+  ``--jobs 2`` reference, validates structurally (every worker span
+  re-rooted under the campaign's ``engine.run`` span), and attributes
+  every second of checker time to a ``node_id``;
+* **reconciliation survives node death** -- a campaign that loses a
+  worker mid-flight (deterministic ``kill_worker`` fault, the inline
+  twin of SIGKILL) still yields a trace whose span multiset matches a
+  fault-free reference and passes ``repro profile --check``;
+* **fleet metrics merge idempotently** -- a worker's pushed snapshot
+  replaces its previous one, so reconnects under the same ``node_id``
+  never double-count, and the broker's Prometheus endpoint serves both
+  its own gauges and per-node ``fleet_*`` series;
+* **the dashboard** -- ``repro top --once --json`` emits one
+  machine-readable sample with derived rates/ETA, and the rendered
+  screen carries the per-node table;
+* **provenance everywhere** -- reports carry ``node_id`` across the
+  wire, the run manifest accounts jobs/properties/checker-seconds per
+  node, and shared proof-cache entries remember which node proved them
+  (``cache-info --json``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import json
+import time
+import urllib.request
+from collections import Counter
+
+import pytest
+
+from tests.test_dist import (
+    INSTRS,
+    TINY_FAMILY,
+    BrokerHarness,
+    WorkerHarness,
+    wait_for,
+)
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.core import Rtl2MuPath
+from repro.designs import CoreContextProvider, build_core
+from repro.dist import DistScheduler
+from repro.dist.protocol import (
+    register_job_type,
+    report_from_wire,
+    report_to_wire,
+)
+from repro.dist.top import derive, fetch_fleet, render_fleet
+from repro.engine import EngineConfig, JobScheduler, ProofCache
+from repro.engine.scheduler import WorkerReport
+from repro.faults import FaultPlan, FaultSpec
+from repro.mc.outcomes import UNREACHABLE, CheckResult
+from repro.mc.stats import PropertyStats
+from repro.obs import FleetRegistry, TraceProfile, start_metrics_server
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanCollector, Tracer, TraceContext, brand_spans
+
+
+def fleet_sample(harness):
+    """The broker's fleet frame, fetched on its own event loop."""
+
+    async def _snap():
+        return harness.broker.fleet_dict()
+
+    return asyncio.run_coroutine_threadsafe(_snap(), harness.loop).result(15)
+
+
+@register_job_type
+@dataclasses.dataclass(frozen=True)
+class ObsJob:
+    """An EchoJob twin that accounts its properties on the active span,
+    so checker-time reconciliation is non-trivial for it."""
+
+    name: str
+    group: str = "obs"
+    seconds: float = 0.002
+
+    @property
+    def job_id(self):
+        return "obs:%s" % self.name
+
+    def group_key(self):
+        return "grp:%s" % self.group
+
+    def execute(self):
+        from repro.faults import injection_point
+
+        injection_point("job.execute", job=self.job_id)
+        result = CheckResult(
+            query_name="q_%s" % self.name,
+            outcome=UNREACHABLE,
+            engine="echo",
+            time_seconds=self.seconds,
+        )
+        obs.note_property(result.outcome, result.time_seconds)
+        return "value:%s" % self.name, [result]
+
+    def escalated(self, attempt, factor):
+        return self
+
+    def cache_key(self):
+        return hashlib.sha256(self.job_id.encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def encode_value(value):
+        return value
+
+    @staticmethod
+    def decode_value(payload):
+        return payload
+
+    @staticmethod
+    def value_is_final(value):
+        return True
+
+
+def make_tool():
+    design = build_core()
+    provider = CoreContextProvider(
+        xlen=design.config.xlen, config=TINY_FAMILY
+    )
+    return Rtl2MuPath(design, provider)
+
+
+# ------------------------------------------------------- traced fleet campaign
+@pytest.fixture(scope="module")
+def traced_fleet(tmp_path_factory):
+    """One traced synthesis campaign over a 2-node fleet, plus the
+    in-process ``--jobs 2`` reference trace it must match."""
+    base = tmp_path_factory.mktemp("fleet-traces")
+    ref_trace = str(base / "ref.jsonl")
+    dist_trace = str(base / "dist.jsonl")
+
+    ref_tool = make_tool()
+    ref_engine = JobScheduler(EngineConfig(jobs=2, trace_path=ref_trace))
+    ref_tool.synthesize_all(INSTRS, engine=ref_engine)
+
+    dist_tool = make_tool()
+    with BrokerHarness() as harness:
+        WorkerHarness(harness.port, "n1").start()
+        WorkerHarness(harness.port, "n2").start()
+        wait_for(
+            lambda: len(harness.stats()["nodes"]) == 2,
+            message="both nodes registered",
+        )
+        engine = DistScheduler(
+            EngineConfig(jobs=2, trace_path=dist_trace),
+            broker=harness.address(),
+        )
+        try:
+            dist_tool.synthesize_all(INSTRS, engine=engine)
+        finally:
+            engine.close()
+        wait_for(
+            lambda: fleet_sample(harness)["metrics"],
+            message="at least one metrics push",
+        )
+        sample = fleet_sample(harness)
+    return {
+        "ref_trace": ref_trace,
+        "dist_trace": dist_trace,
+        "ref_tool": ref_tool,
+        "dist_tool": dist_tool,
+        "engine": engine,
+        "fleet": sample,
+    }
+
+
+class TestFleetTraceParity:
+    def test_merged_trace_validates(self, traced_fleet):
+        profile = TraceProfile.load(traced_fleet["dist_trace"])
+        assert profile.ok, profile.errors
+
+    def test_span_set_matches_jobs2(self, traced_fleet):
+        ref = TraceProfile.load(traced_fleet["ref_trace"])
+        dist = TraceProfile.load(traced_fleet["dist_trace"])
+        assert Counter(r.name for r in ref.spans) == Counter(
+            r.name for r in dist.spans
+        )
+
+    def test_worker_spans_reroot_under_run_span(self, traced_fleet):
+        profile = TraceProfile.load(traced_fleet["dist_trace"])
+        by_name = {}
+        for record in profile.spans:
+            by_name.setdefault(record.name, []).append(record)
+        (run_span,) = by_name["engine.run"]
+        assert run_span.parent_id is None
+        for attempt in by_name["job.attempt"]:
+            assert attempt.parent_id == run_span.span_id
+            assert attempt.attrs.get("node_id") in ("n1", "n2")
+            assert attempt.attrs.get("job_id")
+
+    def test_is_distributed_and_fully_attributed(self, traced_fleet):
+        dist = TraceProfile.load(traced_fleet["dist_trace"])
+        ref = TraceProfile.load(traced_fleet["ref_trace"])
+        assert dist.is_distributed
+        assert not ref.is_distributed
+        assert dist.unattributed_check_seconds() == 0.0
+        by_node = dist.per_node()
+        worker_nodes = set(by_node) - {"local"}
+        assert worker_nodes and worker_nodes <= {"n1", "n2"}
+        # every second of checker time sits in a worker bucket
+        total = sum(b["check_seconds"] for b in by_node.values())
+        assert total == pytest.approx(dist.checked_seconds())
+        assert by_node.get("local", {}).get("check_seconds", 0.0) == 0.0
+
+    def test_checker_time_reconciles_fleet_wide(self, traced_fleet):
+        dist = TraceProfile.load(traced_fleet["dist_trace"])
+        assert dist.reconciles_total_time(
+            traced_fleet["dist_tool"].stats.total_time
+        )
+
+    def test_job_events_tagged_with_node(self, traced_fleet):
+        events = [
+            json.loads(line)
+            for line in open(traced_fleet["dist_trace"], encoding="utf-8")
+        ]
+        finishes = [e for e in events if e["event"] == "job_finish"]
+        assert finishes
+        assert all(e.get("node") in ("n1", "n2") for e in finishes)
+        # the local reference run stays untagged
+        ref_events = [
+            json.loads(line)
+            for line in open(traced_fleet["ref_trace"], encoding="utf-8")
+        ]
+        assert all(
+            "node" not in e
+            for e in ref_events
+            if e["event"] == "job_finish"
+        )
+
+    def test_manifest_accounts_per_node(self, traced_fleet):
+        manifest = traced_fleet["engine"].last_manifest
+        assert manifest is not None
+        nodes = manifest.to_dict()["nodes"]
+        assert nodes and set(nodes) <= {"n1", "n2"}
+        assert (
+            sum(b["jobs"] for b in nodes.values())
+            == manifest.jobs_executed
+        )
+        assert (
+            sum(b["properties"] for b in nodes.values())
+            == manifest.properties_evaluated
+        )
+
+    def test_profile_check_cli_passes(self, traced_fleet, capsys):
+        assert cli_main(["profile", traced_fleet["dist_trace"], "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "per-node (fleet trace):" in out
+        assert "fleet attribution" in out and "-> ok" in out
+
+    def test_profile_check_fails_on_stripped_attribution(
+        self, traced_fleet, tmp_path, capsys
+    ):
+        # simulate worker spans that lost their node stamp on the wire
+        tampered = tmp_path / "tampered.jsonl"
+        with open(traced_fleet["dist_trace"], encoding="utf-8") as src, open(
+            tampered, "w", encoding="utf-8"
+        ) as dst:
+            for line in src:
+                event = json.loads(line)
+                if isinstance(event.get("attrs"), dict):
+                    event["attrs"].pop("node_id", None)
+                dst.write(json.dumps(event) + "\n")
+        assert cli_main(["profile", str(tampered), "--check"]) == 1
+        assert "fleet attribution" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------- fleet metrics
+class TestFleetMetrics:
+    def test_snapshot_merge_is_idempotent(self):
+        local = MetricsRegistry()
+        node = MetricsRegistry()
+        node.counter("repro_x_total", "x").inc(7)
+        fleet = FleetRegistry(local=local)
+        snapshot = node.fleet_snapshot()
+        for _ in range(3):  # reconnect / re-push storm
+            fleet.update("w1", snapshot, {"rss_mb": 5.0, "jobs_done": 7})
+        assert fleet.merged_totals() == {"repro_x_total": 7.0}
+        assert set(fleet.nodes()) == {"w1"}
+        fleet.update("w2", snapshot, None)
+        assert fleet.merged_totals() == {"repro_x_total": 14.0}
+        fleet.forget("w2")
+        assert fleet.merged_totals() == {"repro_x_total": 7.0}
+
+    def test_exposition_carries_local_and_per_node_series(self):
+        local = MetricsRegistry()
+        local.gauge("repro_dist_queue_depth_priority", "queued").set(
+            3, priority="0"
+        )
+        node = MetricsRegistry()
+        node.counter("repro_dist_node_jobs_total", "jobs").inc(2)
+        fleet = FleetRegistry(local=local)
+        fleet.update("w1", node.fleet_snapshot(), {"rss_mb": 8.5})
+        text = fleet.to_prometheus()
+        assert 'repro_dist_queue_depth_priority{priority="0"} 3' in text
+        assert 'fleet_repro_dist_node_jobs_total{node="w1"} 2' in text
+        assert 'fleet_node_rss_mb{node="w1"} 8.5' in text
+        assert 'fleet_node_last_push_ts{node="w1"}' in text
+
+    def test_http_scrape_of_fleet_registry(self, traced_fleet):
+        # traced_fleet already ran a campaign; here we only need any
+        # FleetRegistry to serve over HTTP, so build one
+        local = MetricsRegistry()
+        local.counter("repro_dist_jobs_total", "jobs").inc(4)
+        fleet = FleetRegistry(local=local)
+        fleet.update("w9", {}, {"jobs_done": 4})
+        server = start_metrics_server(0, registry=fleet)
+        try:
+            port = server.server_address[1]
+            body = urllib.request.urlopen(
+                "http://127.0.0.1:%d/metrics" % port, timeout=10
+            ).read().decode("utf-8")
+        finally:
+            server.shutdown()
+        assert "repro_dist_jobs_total 4" in body
+        assert 'fleet_node_jobs_done{node="w9"} 4' in body
+
+    def test_campaign_pushes_node_snapshots_to_broker(self, traced_fleet):
+        sample = traced_fleet["fleet"]
+        assert set(sample["metrics"]) <= {"n1", "n2"}
+        assert sample["metrics"], "no node pushed a snapshot"
+        for node_id, push in sample["metrics"].items():
+            assert push["process"]["slots"] >= 1
+            jobs = push["snapshot"].get("repro_dist_node_jobs_total")
+            assert jobs is None or jobs["kind"] == "counter"
+        totals = sample["fleet_totals"]
+        assert totals.get("repro_dist_node_jobs_total", 0) >= 1
+        events = [e["event"] for e in sample["events"]]
+        assert events.count("node_joined") == 2
+
+    def test_broker_gauges_registered(self, traced_fleet):
+        from repro.obs import get_registry
+
+        text = get_registry().to_prometheus()
+        assert "repro_dist_queue_depth_priority" in text
+        assert "repro_dist_inflight" in text
+        assert "repro_dist_quarantine_size" in text
+        assert "repro_dist_write_behind_backlog" in text
+
+
+# ------------------------------------------------------------------- dashboard
+class TestTopDashboard:
+    def test_once_json_and_render(self, tmp_path, capsys):
+        jobs = [ObsJob(name="t%d" % i, group="g%d" % (i % 2))
+                for i in range(6)]
+        with BrokerHarness() as harness:
+            WorkerHarness(harness.port, "t1").start()
+            wait_for(
+                lambda: len(harness.stats()["nodes"]) == 1,
+                message="node registered",
+            )
+            engine = DistScheduler(
+                EngineConfig(jobs=2), broker=harness.address()
+            )
+            try:
+                outcome = engine.run(jobs)
+            finally:
+                engine.close()
+            wait_for(
+                lambda: fleet_sample(harness)["metrics"],
+                message="metrics push",
+            )
+            assert cli_main(
+                ["top", "--broker", harness.address(), "--once", "--json"]
+            ) == 0
+            payload = json.loads(capsys.readouterr().out)
+            sample = fetch_fleet(harness.address())
+        assert all(outcome[j.job_id] == "value:" + j.name for j in jobs)
+        assert payload["stats"]["counts"]["completed"] == len(jobs)
+        derived = payload["derived"]
+        assert derived["remaining_jobs"] == 0
+        assert "t1" in derived["node_rates"]
+        screen = render_fleet(sample, derive(sample), harness.address())
+        assert "repro top -- broker" in screen
+        assert "t1" in screen
+        assert "%d submitted" % len(jobs) in screen
+        assert "node_joined" in screen
+
+    def test_unreachable_broker_exits_nonzero(self, capsys):
+        assert cli_main(
+            ["top", "--broker", "127.0.0.1:1", "--once"]
+        ) == 1
+        assert "cannot reach broker" in capsys.readouterr().out
+
+    def test_derive_rates_from_consecutive_samples(self):
+        prev = {
+            "ts": 100.0,
+            "uptime_seconds": 10.0,
+            "stats": {"counts": {"completed": 10, "submitted": 40},
+                      "nodes": {"a": {"completed": 10}}},
+        }
+        now = {
+            "ts": 110.0,
+            "uptime_seconds": 20.0,
+            "stats": {
+                "counts": {"completed": 30, "submitted": 40,
+                           "cache_gets": 10, "cache_hits": 5},
+                "nodes": {"a": {"completed": 30}},
+            },
+        }
+        derived = derive(now, prev)
+        assert derived["rate_jobs_per_second"] == 2.0
+        assert derived["remaining_jobs"] == 10
+        assert derived["eta_seconds"] == 5.0
+        assert derived["cache_hit_rate"] == 0.5
+        assert derived["node_rates"] == {"a": 2.0}
+
+
+# ------------------------------------------------- node death + reconciliation
+class TestNodeDeathReconciliation:
+    def test_killed_worker_campaign_reconciles(self, tmp_path, capsys):
+        jobs = [ObsJob(name="q%d" % i, group="g%d" % (i % 2))
+                for i in range(4)]
+
+        ref_trace = str(tmp_path / "ref.jsonl")
+        ref_stats = PropertyStats(label="ref")
+        JobScheduler(
+            EngineConfig(jobs=2, trace_path=ref_trace)
+        ).run(jobs, stats=ref_stats)
+
+        # "bad" dies at worker.job_start for obs:q0 -- the inline twin
+        # of a SIGKILL mid-batch: its span collector dies with it, the
+        # broker re-shards, and the re-run on "good" produces the spans
+        plan = FaultPlan(
+            state_dir=str(tmp_path / "faults"),
+            specs=(
+                FaultSpec(
+                    kind="kill_worker",
+                    point="worker.job_start",
+                    job="obs:q0",
+                    times=1,
+                ),
+            ),
+        )
+        dist_trace = str(tmp_path / "dist.jsonl")
+        stats = PropertyStats(label="failover")
+        with BrokerHarness(node_poison_limit=1, pipeline_depth=1) as harness:
+            WorkerHarness(harness.port, "bad", fault_plan=plan).start()
+            WorkerHarness(harness.port, "good").start()
+            wait_for(
+                lambda: len(harness.stats()["nodes"]) == 2,
+                message="both nodes registered",
+            )
+            engine = DistScheduler(
+                EngineConfig(jobs=2, trace_path=dist_trace),
+                broker=harness.address(),
+            )
+            try:
+                outcome = engine.run(jobs, stats=stats)
+            finally:
+                engine.close()
+            counts = harness.counts()
+        assert counts["quarantined_nodes"] == 1
+        for job in jobs:
+            assert outcome[job.job_id] == "value:" + job.name
+        assert outcome.manifest.reconciles(stats)
+        assert stats.outcome_histogram == ref_stats.outcome_histogram
+
+        dist = TraceProfile.load(dist_trace)
+        ref = TraceProfile.load(ref_trace)
+        assert dist.ok, dist.errors
+        # the doomed batch never reported, so its spans never entered
+        # the merged trace: the span multiset matches a fault-free run
+        assert Counter(r.name for r in ref.spans) == Counter(
+            r.name for r in dist.spans
+        )
+        assert dist.unattributed_check_seconds() == 0.0
+        assert dist.reconciles_total_time(stats.total_time)
+        assert cli_main(["profile", dist_trace, "--check"]) == 0
+        capsys.readouterr()
+        # every executed job is attributed to the surviving node
+        nodes = outcome.manifest.to_dict()["nodes"]
+        assert sum(b["jobs"] for b in nodes.values()) == len(jobs)
+
+
+# ------------------------------------------------------------------ provenance
+class TestProvenance:
+    def test_report_round_trips_node_id(self):
+        report = WorkerReport(job_id="obs:x", node_id="w3")
+        wire = report_to_wire(report, ObsJob(name="x"))
+        assert wire["node"] == "w3"
+        back = report_from_wire(wire, ObsJob(name="x"))
+        assert back.node_id == "w3"
+        # absent / junk node fields degrade to None
+        wire.pop("node")
+        assert report_from_wire(wire, ObsJob(name="x")).node_id is None
+
+    def test_trace_context_wire_round_trip(self):
+        assert TraceContext.capture() is None  # no active tracer
+        tracer = Tracer(sink=SpanCollector())
+        obs.activate(tracer)
+        try:
+            with tracer.span("engine.run"):
+                captured = TraceContext.capture()
+        finally:
+            obs.deactivate(tracer)
+        assert captured is not None
+        assert captured.span_id.startswith(tracer.prefix + ":")
+        wire = captured.to_wire()
+        back = TraceContext.from_wire(wire)
+        assert back is not None and back.span_id == captured.span_id
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire({"trace_id": 7}) is None
+
+    def test_brand_spans_stamps_and_reroots(self):
+        collector = SpanCollector()
+        tracer = Tracer(sink=collector)
+        with tracer.span("job.attempt"):
+            with tracer.span("phase.cover"):
+                pass
+        brand_spans(
+            collector.records,
+            attrs={"node_id": "w1", "job_id": "obs:x"},
+            reparent="campaign:1",
+        )
+        begins = {
+            f["name"]: f for k, f in collector.records if k == "span_begin"
+        }
+        assert begins["job.attempt"]["parent"] == "campaign:1"
+        # the child keeps its real parent: only roots re-root
+        assert (
+            begins["phase.cover"]["parent"]
+            == begins["job.attempt"]["span"]
+        )
+        for _kind, fields in collector.records:
+            assert fields["attrs"]["node_id"] == "w1"
+            assert fields["attrs"]["job_id"] == "obs:x"
+
+    def test_shared_cache_entries_remember_their_node(
+        self, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        jobs = [ObsJob(name="c%d" % i, group="g%d" % (i % 2))
+                for i in range(4)]
+        with BrokerHarness(cache_dir=cache_dir) as harness:
+            WorkerHarness(harness.port, "pv1").start()
+            wait_for(
+                lambda: len(harness.stats()["nodes"]) == 1,
+                message="node registered",
+            )
+            engine = DistScheduler(
+                EngineConfig(jobs=2), broker=harness.address()
+            )
+            try:
+                engine.run(jobs)
+            finally:
+                engine.close()
+        stats = ProofCache(cache_dir).stats(per_node=True)
+        assert stats["entries"] == len(jobs)
+        assert stats["by_node"] == {
+            "pv1": {"entries": len(jobs), "properties": len(jobs)}
+        }
+        assert cli_main(["cache-info", cache_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["by_node"]["pv1"]["entries"] == len(jobs)
+        # local (untagged) entries land in a "local" bucket and the
+        # tagged entries still replay: checksum covers the node field
+        local_cache = ProofCache(str(tmp_path / "local"))
+        local_cache.put(
+            ObsJob(name="solo").cache_key(), "obs:solo", "value:solo",
+            [{"query_name": "q", "outcome": UNREACHABLE,
+              "engine": "echo", "time_seconds": 0.001}],
+        )
+        local_stats = local_cache.stats(per_node=True)
+        assert set(local_stats["by_node"]) == {"local"}
+        hit = ProofCache(cache_dir).get(jobs[0].cache_key())
+        assert hit is not None and hit["node"] == "pv1"
+
+    def test_fleet_quickstart_documented(self):
+        import os
+
+        readme = open(
+            os.path.join(os.path.dirname(__file__), "..", "README.md"),
+            encoding="utf-8",
+        ).read()
+        assert "## Fleet observability" in readme
+        assert "--metrics-port" in readme
+        assert "repro top" in readme
