@@ -1,0 +1,150 @@
+"""Solver-speed bench: CNF preprocessing + array BCP + clause sharing.
+
+Same workload as ``test_bench_incremental.py`` (DUV PL reachability
+pruning followed by ``synthesize_all`` on the xlen=4 core at
+``induction_k=8``, incremental + COI), measured with the solver-speed
+work enabled (the default) against the 0.3394s per-check mean
+``INCR_BENCH.json`` recorded *before* that work landed.  The target is
+a >= 3x improvement on ``incremental_mean_check_seconds``.
+
+The tuned pipeline runs ``TRIALS`` times and the bench scores the
+*minimum* of the per-trial means: on a single shared core the noise is
+strictly additive (scheduler preemption, page-cache state), so the
+minimum is the closest observable to the machine's true cost.
+
+The answer must not move: one run with ``preprocess=False,
+clause_sharing=False`` pins byte-identical canonical uPATH sets,
+per-property induction verdicts, and SynthLC labels, recorded as
+``mupaths_identical`` / ``synthlc_labels_identical`` in
+``SOLVER_BENCH.json``.
+"""
+
+import statistics
+import time
+
+from repro.core import Rtl2MuPath, SynthLC
+from repro.core.rtl2mupath import Rtl2MuPathConfig
+from repro.designs import ContextFamilyConfig, CoreContextProvider, build_core
+from repro.designs.core import CoreConfig
+from repro.fuzz.metamorphic import canonical_contracts, canonical_mupaths
+from repro.mc import PropertyStats
+
+from conftest import print_banner, record_bench_json
+
+IUVS = ("ADD", "MUL", "DIV")
+INDUCTION_K = 8
+TRIALS = 3
+
+#: incremental_mean_check_seconds from INCR_BENCH.json as recorded before
+#: the solver-speed work (preprocessing, array BCP, clause sharing); the
+#: bench target is a >= 3x improvement on it
+BASELINE_MEAN_CHECK_SECONDS = 0.3394
+TARGET_RATIO = 3.0
+
+BENCH_FAMILY = ContextFamilyConfig(
+    horizon=30, neighbors=("DIV",), iuv_values=(0, 1), neighbor_values=(0, 1)
+)
+TAINT_FAMILY = ContextFamilyConfig(
+    horizon=30,
+    neighbors=("DIV",),
+    iuv_values=(0, 1),
+    neighbor_values=(0, 1),
+    instrumented=True,
+)
+
+
+def _run_pipeline(design, preprocess, clause_sharing):
+    provider = CoreContextProvider(xlen=design.config.xlen, config=BENCH_FAMILY)
+    stats = PropertyStats(label="solver-bench")
+    tool = Rtl2MuPath(
+        design,
+        provider,
+        stats=stats,
+        config=Rtl2MuPathConfig(
+            induction_k=INDUCTION_K,
+            preprocess=preprocess,
+            clause_sharing=clause_sharing,
+        ),
+    )
+    started = time.perf_counter()
+    reachable = tool.duv_pl_reachability(IUVS)
+    results = tool.synthesize_all(IUVS)
+    elapsed = time.perf_counter() - started
+    checks = [r for r in stats.results if r.engine == "k-induction"]
+    return {
+        "elapsed": elapsed,
+        "reachable": reachable,
+        "results": results,
+        "mean_check": statistics.mean(r.time_seconds for r in checks),
+        "checks": len(checks),
+        "verdicts": sorted((r.query_name, r.outcome, r.detail) for r in checks),
+    }
+
+
+def _synthlc_labels(design, results):
+    tool = SynthLC(
+        design,
+        CoreContextProvider(xlen=design.config.xlen, config=TAINT_FAMILY),
+        stats=PropertyStats(label="solver-bench-lc"),
+    )
+    return canonical_contracts(tool.classify(results, transmitters=list(IUVS)))
+
+
+def test_solver_speed_vs_recorded_baseline():
+    design = build_core(CoreConfig(xlen=4))
+
+    plain = _run_pipeline(design, preprocess=False, clause_sharing=False)
+    trials = [
+        _run_pipeline(design, preprocess=True, clause_sharing=True)
+        for _ in range(TRIALS)
+    ]
+    tuned = min(trials, key=lambda t: t["mean_check"])
+
+    # the solver work must never change the answer
+    assert plain["reachable"] == tuned["reachable"]
+    assert canonical_mupaths(plain["results"]) == canonical_mupaths(
+        tuned["results"]
+    )
+    assert plain["verdicts"] == tuned["verdicts"]
+    assert _synthlc_labels(design, plain["results"]) == _synthlc_labels(
+        design, tuned["results"]
+    )
+
+    target = BASELINE_MEAN_CHECK_SECONDS / TARGET_RATIO
+    ratio = BASELINE_MEAN_CHECK_SECONDS / tuned["mean_check"]
+    assert tuned["mean_check"] <= target, (
+        "tuned per-check mean %.4fs misses the %.4fs target (%.2fx vs the "
+        "recorded %.4fs baseline)"
+        % (tuned["mean_check"], target, ratio, BASELINE_MEAN_CHECK_SECONDS)
+    )
+
+    payload = {
+        "workload": "duv-prune + synth-all %s" % " ".join(IUVS),
+        "design": "cva6ish_core xlen=4",
+        "induction_k": INDUCTION_K,
+        "induction_checks": tuned["checks"],
+        "trials": TRIALS,
+        "baseline_mean_check_seconds": BASELINE_MEAN_CHECK_SECONDS,
+        "tuned_mean_check_seconds": round(tuned["mean_check"], 4),
+        "trial_mean_check_seconds": [
+            round(t["mean_check"], 4) for t in trials
+        ],
+        "no_preprocess_mean_check_seconds": round(plain["mean_check"], 4),
+        "speedup_vs_baseline": round(ratio, 2),
+        "tuned_cold_seconds": round(tuned["elapsed"], 3),
+        "no_preprocess_cold_seconds": round(plain["elapsed"], 3),
+        "mupaths_identical": True,
+        "synthlc_labels_identical": True,
+    }
+    path = record_bench_json("SOLVER_BENCH.json", payload)
+
+    print_banner("Solver speed -- preprocessing + array BCP + sharing")
+    print("%d k-induction checks at k=%d on the xlen=4 core, min of %d trials"
+          % (tuned["checks"], INDUCTION_K, TRIALS))
+    print("recorded baseline:  %0.4fs per check" % BASELINE_MEAN_CHECK_SECONDS)
+    print("tuned (defaults):   %0.4fs per check  (%.2fx)"
+          % (tuned["mean_check"], ratio))
+    print("no-preprocess run:  %0.4fs per check" % plain["mean_check"])
+    print("trial means:        %s"
+          % ", ".join("%.4f" % t["mean_check"] for t in trials))
+    print("recorded -> %s" % path)

@@ -48,6 +48,10 @@ Commands:
     reference path; verdicts are identical, only slower);
   * ``--no-coi`` -- disable cone-of-influence slicing, bit-blasting the
     full design for every property;
+  * ``--no-preprocess`` -- skip CNF preprocessing (bounded variable
+    elimination, subsumption) ahead of each proof context's first solve;
+  * ``--no-clause-sharing`` -- disable the portfolio learned-clause
+    exchange between same-design workers (verdicts never depend on it);
   * ``--broker HOST:PORT`` -- dispatch the jobs through a campaign
     broker (see ``repro broker`` / ``repro worker``) instead of a local
     process pool.  Verdicts, labels, and manifests are byte-identical
@@ -267,10 +271,13 @@ def cmd_synth_all(args):
         config=Rtl2MuPathConfig(
             incremental=not args.no_incremental,
             coi=not args.no_coi,
+            preprocess=not args.no_preprocess,
+            clause_sharing=not args.no_clause_sharing,
         ),
     )
     engine_config = EngineConfig(
         jobs=args.jobs,
+        clause_sharing=not args.no_clause_sharing,
         cache_dir=args.cache_dir,
         trace_path=args.trace,
         timeout_seconds=args.timeout,
@@ -730,6 +737,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-coi", action="store_true",
                    help="disable cone-of-influence slicing before "
                         "bit-blasting induction proofs")
+    p.add_argument("--no-preprocess", action="store_true",
+                   help="disable CNF preprocessing (variable elimination, "
+                        "subsumption) before the first solve of each "
+                        "proof context; the verdicts must not change")
+    p.add_argument("--no-clause-sharing", action="store_true",
+                   help="disable the portfolio learned-clause exchange "
+                        "between workers; the verdicts must not change")
     p.add_argument("--broker", default=None, metavar="HOST:PORT",
                    help="dispatch jobs through a campaign broker (see "
                         "'repro broker' / 'repro worker'); verdicts are "

@@ -44,6 +44,7 @@ from ..mc.kinduction import prove_unreachable_kinduction
 from ..mc.outcomes import REACHABLE, UNDETERMINED, UNREACHABLE, CheckResult
 from ..mc.stats import PropertyStats
 from ..rtl.analysis import connectivity_matrix
+from ..solver.bitblast import paused_gc
 from .decisions import DecisionSet, extract_decisions
 from .mhb import CycleAccuratePath, build_slot_index, extract_path
 from .pl import DesignMetadata
@@ -62,6 +63,8 @@ class Rtl2MuPathConfig:
     induction_conflict_budget: int = 400000
     incremental: bool = True  # shared growing proof context per design
     coi: bool = True  # cone-of-influence slicing before bit-blasting
+    preprocess: bool = True  # CNF preprocessing before the first solve
+    clause_sharing: bool = True  # portfolio learned-clause exchange
 
 
 @dataclass
@@ -156,7 +159,13 @@ class Rtl2MuPath:
         if self._induction_pool is None:
             from ..mc.incremental import InductionPool
 
-            self._induction_pool = InductionPool(coi=self.config.coi)
+            self._induction_pool = InductionPool(
+                coi=self.config.coi,
+                preprocess=self.config.preprocess,
+                share_namespace=(
+                    "local" if self.config.clause_sharing else None
+                ),
+            )
         return self._induction_pool
 
     # ------------------------------------------------------------ accounting
@@ -221,8 +230,14 @@ class Rtl2MuPath:
                     if self._resolve(outcome) == REACHABLE or hit:
                         reachable.add(pl_name)
 
-            # invalid vars valuations: discharge with unbounded induction proofs
-            with obs.span("phase.induction"):
+            # invalid vars valuations: discharge with unbounded induction
+            # proofs.  The whole phase runs with the cyclic collector
+            # paused: its allocations (one pool context plus per-property
+            # gates) are acyclic and stay reachable, so mid-phase
+            # collections only scan the growing clause database -- any
+            # deferred collection fires at the phase boundary instead of
+            # inside a timed proof
+            with obs.span("phase.induction"), paused_gc():
                 for pl_name, pl in self.metadata.candidate_pls.items():
                     started = time.perf_counter()
                     if self.config.prove_invalid_pls_by_induction:
@@ -232,6 +247,7 @@ class Rtl2MuPath:
                             k=self.config.induction_k,
                             conflict_budget=self.config.induction_conflict_budget,
                             pool=self._pool(),
+                            preprocess=self.config.preprocess,
                         )
                         self._record(
                             "duvpl_reach_%s" % pl_name,

@@ -183,17 +183,31 @@ def _provider_family_params(spec: ProviderSpec) -> Dict[str, Any]:
 
 # ------------------------------------------------------------ synthesis jobs
 @lru_cache(maxsize=None)
-def _worker_induction_pool(design_spec: DesignSpec, coi: bool):
+def _worker_induction_pool(
+    design_spec: DesignSpec,
+    coi: bool,
+    preprocess: bool = True,
+    share_namespace: Optional[str] = None,
+):
     """Per-worker shared :class:`~repro.mc.incremental.InductionPool`.
 
     Memoized alongside :func:`_built_design`, so every job the scheduler
     batches onto this worker for the same design recipe proves against
     the same growing contexts (the netlist object identity the pool keys
-    on is itself stable through the design memoization).
+    on is itself stable through the design memoization).  The memo key
+    includes the preprocessing and sharing knobs: a ``--no-preprocess``
+    job must never reuse a preprocessed pool and vice versa.
+
+    ``share_namespace`` (derived from the content-stable netlist hash)
+    roots the pool's portfolio share keys: every worker proving the same
+    design recipe derives the same namespace, so their solvers' prefixes
+    line up and the scheduler's clause channel connects them.
     """
     from ..mc.incremental import InductionPool
 
-    return InductionPool(coi=coi)
+    return InductionPool(
+        coi=coi, preprocess=preprocess, share_namespace=share_namespace
+    )
 
 
 @dataclass(frozen=True)
@@ -229,10 +243,18 @@ class SynthesisJob:
         config = Rtl2MuPathConfig(**_unparams(self.config_params))
         tool = Rtl2MuPath(design, provider, config=config, stats=stats)
         if config.incremental:
-            # one pool per (design recipe, coi) per worker process: jobs
-            # batched onto this worker extend the same proof contexts
+            # one pool per (design recipe, solver knobs) per worker
+            # process: jobs batched onto this worker extend the same
+            # proof contexts
             tool._induction_pool = _worker_induction_pool(
-                self.design_spec, config.coi
+                self.design_spec,
+                config.coi,
+                config.preprocess,
+                (
+                    "design:%s" % self.netlist_hash
+                    if config.clause_sharing
+                    else None
+                ),
             )
         if self.duv_pls is not None:
             tool._duv_pls = frozenset(self.duv_pls)

@@ -32,7 +32,7 @@ from .. import obs
 from ..props.query import Query
 from ..props.views import SymbolicOps, SymbolicTraceView
 from ..rtl.netlist import Netlist
-from ..solver.bitblast import Frame, blast_frame
+from ..solver.bitblast import Frame, blast_frame, paused_gc
 from ..solver.bits import BitBuilder
 from ..solver.sat import SAT, UNKNOWN, UNSAT, SatSolver
 from .outcomes import REACHABLE, UNDETERMINED, UNREACHABLE, CheckResult
@@ -76,6 +76,7 @@ class BmcContext:
         conflict_budget: Optional[int] = 200000,
         stats: Optional[PropertyStats] = None,
         coi_targets: Optional[Sequence[str]] = None,
+        preprocess: bool = True,
     ):
         self.coi = None
         if coi_targets is not None:
@@ -90,9 +91,10 @@ class BmcContext:
         self.conflict_budget = conflict_budget
         self.stats = stats
 
-        self.solver = SatSolver()
+        self.solver = SatSolver(preprocess=preprocess)
         self.builder = BitBuilder(self.solver)
         self.frames: List[Frame] = []
+        self._frozen_frames = 0
         self._checks = 0
         self._unroll()
         self.view = SymbolicTraceView(self.frames, self.builder)
@@ -113,12 +115,22 @@ class BmcContext:
     def _extend(self, new_horizon: int):
         builder = self.builder
         state = self._frontier_state
-        for t in range(len(self.frames), new_horizon):
-            input_bits = self._drive_inputs(t)
-            frame = blast_frame(builder, self.netlist, state, input_bits)
-            self.frames.append(frame)
-            state = frame.next_state
+        with paused_gc():
+            for t in range(len(self.frames), new_horizon):
+                input_bits = self._drive_inputs(t)
+                frame = blast_frame(builder, self.netlist, state, input_bits)
+                self.frames.append(frame)
+                state = frame.next_state
         self._frontier_state = state
+        # freeze the interface bits later queries build gates over, so
+        # preprocessing's variable elimination never removes them
+        freeze = self.solver.freeze_many
+        for frame in self.frames[self._frozen_frames :]:
+            for bits in frame.named.values():
+                freeze(abs(lit) for lit in bits)
+            for bits in frame.next_state.values():
+                freeze(abs(lit) for lit in bits)
+        self._frozen_frames = len(self.frames)
         if self.context.constrain is not None:
             # constraint literals are built through the builder's gate
             # caches, so re-running the callable over the full frame list

@@ -50,9 +50,10 @@ from ..props.exprs import CycleExpr
 from ..props.views import SymbolicOps, SymbolicTraceView
 from ..rtl.coi import coi_cone, coi_slice
 from ..rtl.netlist import Netlist
-from ..solver.bitblast import blast_frame
+from ..solver.bitblast import blast_frame, paused_gc
 from ..solver.bits import BitBuilder
 from ..solver.sat import SAT, UNKNOWN, UNSAT, SatSolver
+from ..solver.share import EXCHANGE
 from .outcomes import REACHABLE, UNDETERMINED, UNREACHABLE, CheckResult
 
 __all__ = ["IncrementalInductionContext", "InductionPool"]
@@ -68,11 +69,18 @@ def _reuse_counter():
 class _Unrolling:
     """One growing transition unrolling over its own solver."""
 
-    def __init__(self, netlist: Netlist, symbolic_init: bool, symbolic_registers):
+    def __init__(
+        self,
+        netlist: Netlist,
+        symbolic_init: bool,
+        symbolic_registers,
+        preprocess: bool = True,
+    ):
         self.netlist = netlist
-        self.solver = SatSolver()
+        self.solver = SatSolver(preprocess=preprocess)
         self.builder = BitBuilder(self.solver)
         self.frames: List = []
+        self._frozen_frames = 0
         state: Dict[str, List[int]] = {}
         for reg, _ in netlist.registers:
             if symbolic_init or reg.name in symbolic_registers:
@@ -81,6 +89,8 @@ class _Unrolling:
                 state[reg.name] = self.builder.const_word(reg.reset, reg.width)
         self.initial_state = state
         self._frontier = state
+        for bits in state.values():
+            self.solver.freeze_many(abs(lit) for lit in bits)
         self.view = SymbolicTraceView(self.frames, self.builder)
         self.ops = SymbolicOps(self.builder)
 
@@ -95,11 +105,102 @@ class _Unrolling:
             self.frames.append(frame)
             state = frame.next_state
         self._frontier = state
+        # freeze the interface bits future clauses will mention (property
+        # targets over named signals, distinctness over state words):
+        # preprocessing must never variable-eliminate them
+        freeze = self.solver.freeze_many
+        for frame in self.frames[self._frozen_frames :]:
+            for bits in frame.named.values():
+                freeze(abs(lit) for lit in bits)
+            for bits in frame.next_state.values():
+                freeze(abs(lit) for lit in bits)
+        self._frozen_frames = len(self.frames)
 
     @property
     def states(self):
         """State vectors s_0 .. s_h (initial plus each frame's next)."""
         return [self.initial_state] + [f.next_state for f in self.frames]
+
+
+class _ShareEnd:
+    """One solver's hookup to the process-local clause exchange."""
+
+    def __init__(self, key: str, solver: SatSolver, activation: int):
+        self.key = key
+        self.solver = solver
+        self.activation = activation
+        self.cursor = 0
+        self.own: set = set()
+
+
+class _SharedLink:
+    """Wires a context's base/step solvers into the portfolio exchange.
+
+    Armed exactly once, over the context's *creation* build (frames plus
+    distinctness, before any property): that is the prefix every peer
+    worker constructs identically, so clauses learned over it are valid
+    lemmas for all of them.  The share key embeds the prefix variable
+    count and a sampled clause fingerprint -- builds that diverged for
+    any reason get distinct keys and exchange nothing.
+    """
+
+    def __init__(self, key: str, k: int, base: _Unrolling, step: _Unrolling):
+        self.ends: List[_ShareEnd] = []
+        for role, unrolling in (("base", base), ("step", step)):
+            solver = unrolling.solver
+            limit = solver.mark_share_prefix()
+            clauses = solver._clauses
+            stride = max(1, len(clauses) // 64)
+            sample = tuple(tuple(c) for c in clauses[::stride])
+            # int-tuple hashes are not randomized across processes, so
+            # this fingerprint is stable worker-to-worker
+            fingerprint = hash((limit, len(clauses), sample)) & 0xFFFFFFFFFFFF
+            full_key = "%s|k%d|%s|v%d|f%x" % (key, k, role, limit, fingerprint)
+            # the import guard: a post-prefix activation literal assumed
+            # on every solve, so foreign clauses stay retractable and can
+            # never leak into an unrelated check's assumption state
+            activation = solver.new_activation()
+            self.ends.append(_ShareEnd(full_key, solver, activation))
+
+    @property
+    def base_activation(self) -> int:
+        return self.ends[0].activation
+
+    @property
+    def step_activation(self) -> int:
+        return self.ends[1].activation
+
+    def pull(self) -> int:
+        """Import peers' newly published clauses (activation-guarded)."""
+        imported = 0
+        for end in self.ends:
+            batch = EXCHANGE.snapshot(end.key, end.cursor)
+            if not batch:
+                continue
+            end.cursor += len(batch)
+            fresh = [c for c in batch if c not in end.own]
+            if fresh:
+                imported += end.solver.import_shared(fresh, end.activation)
+        return imported
+
+    def push(self) -> int:
+        """Publish this context's newly exportable learned clauses."""
+        published = 0
+        for end in self.ends:
+            batch = end.solver.export_shared()
+            if batch:
+                end.own.update(batch)
+                published += EXCHANGE.publish(end.key, batch)
+        return published
+
+    def freeze_export(self) -> None:
+        """Stop exporting (the prefix is about to grow non-conservatively).
+
+        Importing continues: creation-prefix lemmas remain implied when
+        the formula only gains clauses.
+        """
+        for end in self.ends:
+            end.solver.freeze_share_export()
 
 
 class IncrementalInductionContext:
@@ -115,6 +216,8 @@ class IncrementalInductionContext:
         k: int,
         symbolic_registers=(),
         simple_path: bool = True,
+        preprocess: bool = True,
+        share_key: Optional[str] = None,
     ):
         if k < 1:
             raise ValueError("k-induction needs k >= 1, got %d" % k)
@@ -122,31 +225,49 @@ class IncrementalInductionContext:
         self.k = k
         self.symbolic_registers = frozenset(symbolic_registers)
         self.simple_path = simple_path
+        self.preprocess = preprocess
         self.checks = 0
-        self._base = _Unrolling(netlist, False, self.symbolic_registers)
-        self._step = _Unrolling(netlist, True, ())
+        self._base = _Unrolling(
+            netlist, False, self.symbolic_registers, preprocess=preprocess
+        )
+        self._step = _Unrolling(netlist, True, (), preprocess=preprocess)
         self._asserted_pairs: set = set()
         self._build(k)
+        # portfolio sharing is armed over the creation build only: after
+        # extend_k the variable numbering depends on the property history,
+        # so peers could no longer be assumed prefix-identical
+        self._shared = (
+            _SharedLink(share_key, k, self._base, self._step)
+            if share_key is not None
+            else None
+        )
 
     def _build(self, k: int):
-        self._base.extend_to(k)
-        self._step.extend_to(k + 1)
-        if self.simple_path:
-            # pairwise distinctness over s_0 .. s_k; on extension only the
-            # pairs involving the new states are asserted
-            states = self._step.states[: k + 1]
-            builder = self._step.builder
-            for i in range(len(states)):
-                for j in range(i + 1, len(states)):
-                    if (i, j) in self._asserted_pairs:
-                        continue
-                    bits = [
-                        builder.word_eq(states[i][name], states[j][name])
-                        for name in states[i]
-                    ]
-                    same = builder.and_many(bits)
-                    self._step.solver.add_clause([-same])
-                    self._asserted_pairs.add((i, j))
+        with paused_gc():
+            self._base.extend_to(k)
+            self._step.extend_to(k + 1)
+            if self.simple_path:
+                # pairwise distinctness over s_0 .. s_k; on extension only
+                # the pairs involving the new states are asserted.  Two
+                # states differ iff some bit differs: one clause over the
+                # per-bit difference gates -- the same constraint the
+                # legacy path asserts, encoded without the equality-gate
+                # tree and its unit-propagation cascade per pair
+                states = self._step.states[: k + 1]
+                xor_ = self._step.builder.xor_
+                add_clause = self._step.solver.add_clause
+                for i in range(len(states)):
+                    for j in range(i + 1, len(states)):
+                        if (i, j) in self._asserted_pairs:
+                            continue
+                        diff: List[int] = []
+                        for name in states[i]:
+                            diff.extend(
+                                xor_(x, y)
+                                for x, y in zip(states[i][name], states[j][name])
+                            )
+                        add_clause(diff)
+                        self._asserted_pairs.add((i, j))
 
     def extend_k(self, new_k: int):
         """Monotonically deepen the context to answer at ``new_k``.
@@ -159,6 +280,12 @@ class IncrementalInductionContext:
                 "induction context cannot shrink k %d -> %d" % (self.k, new_k)
             )
         if new_k > self.k:
+            if self._shared is not None:
+                # the deeper simple-path constraints are not conservative
+                # over the creation prefix: clauses learned after them are
+                # no longer lemmas of the shared formula, so stop exporting
+                # (imports of creation-prefix lemmas remain sound)
+                self._shared.freeze_export()
             self._build(new_k)
             self.k = new_k
 
@@ -173,6 +300,8 @@ class IncrementalInductionContext:
         self.checks += 1
 
         def _finish(sp, outcome, detail, solver_delta, witness=None):
+            if self._shared is not None:
+                self._shared.push()
             elapsed = time.perf_counter() - start
             sp.set("outcome", outcome)
             return CheckResult(
@@ -187,6 +316,9 @@ class IncrementalInductionContext:
             )
 
         with obs.span("mc.kinduction", k=k, incremental=True) as root:
+            shared = self._shared
+            if shared is not None:
+                shared.pull()
             # ---- base case: BMC from reset for k steps, property assumed
             with obs.span("mc.kinduction.base"):
                 base = self._base
@@ -195,8 +327,11 @@ class IncrementalInductionContext:
                     target = base.builder.or_(
                         target, bad.evaluate(base.view, t, base.ops)
                     )
+                assumptions = [target]
+                if shared is not None:
+                    assumptions.insert(0, shared.base_activation)
                 verdict = base.solver.solve(
-                    assumptions=[target], max_conflicts=conflict_budget
+                    assumptions=assumptions, max_conflicts=conflict_budget
                 )
                 base_delta = dict(base.solver.last_solve)
             if verdict == SAT:
@@ -225,8 +360,11 @@ class IncrementalInductionContext:
                     good = -bad.evaluate(step.view, t, step.ops)
                     step.solver.add_clause([good], activation=act)
                 bad_at_k = bad.evaluate(step.view, k, step.ops)
+                assumptions = [act, bad_at_k]
+                if shared is not None:
+                    assumptions.insert(0, shared.step_activation)
                 verdict = step.solver.solve(
-                    assumptions=[act, bad_at_k], max_conflicts=conflict_budget
+                    assumptions=assumptions, max_conflicts=conflict_budget
                 )
                 step_delta = dict(step.solver.last_solve)
                 step.solver.retract(act)
@@ -256,10 +394,39 @@ class InductionPool:
     group" pattern the engine's same-design batching sets up.
     """
 
-    def __init__(self, coi: bool = True):
+    def __init__(
+        self,
+        coi: bool = True,
+        preprocess: bool = True,
+        share_namespace: Optional[str] = None,
+    ):
         self.coi = coi
+        self.preprocess = preprocess
+        # non-None arms portfolio clause sharing: contexts publish/import
+        # short learned clauses through the process-local exchange under
+        # keys rooted at this namespace (workers proving the same design
+        # recipe use the same namespace, so their peers' lemmas connect)
+        self.share_namespace = share_namespace
         self._contexts: Dict[Tuple, IncrementalInductionContext] = {}
         self._supports: Dict[int, Dict[str, Tuple]] = {}
+
+    def _share_key(self, support, symbolic_registers, simple_path) -> Optional[str]:
+        if self.share_namespace is None:
+            return None
+        if support is None:
+            token = "full"
+        else:
+            token = "r:%s;i:%s" % (
+                ",".join(sorted(support[0])),
+                ",".join(sorted(support[1])),
+            )
+        return "%s|%s|%s|%s|%s" % (
+            self.share_namespace,
+            token,
+            ",".join(sorted(symbolic_registers)),
+            "sp" if simple_path else "nosp",
+            "coi" if self.coi else "nocoi",
+        )
 
     def _named_supports(self, netlist: Netlist) -> Dict[str, Tuple]:
         """name -> (register names, input names) sequential support, for
@@ -333,7 +500,14 @@ class InductionPool:
                 ]
                 target_netlist = coi_slice(netlist, enriched).netlist
             ctx = IncrementalInductionContext(
-                target_netlist, k, symbolic_registers, simple_path
+                target_netlist,
+                k,
+                symbolic_registers,
+                simple_path,
+                preprocess=self.preprocess,
+                share_key=self._share_key(
+                    support, symbolic_registers, simple_path
+                ),
             )
             self._contexts[key] = ctx
         elif ctx.k < k:

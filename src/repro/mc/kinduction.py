@@ -22,7 +22,7 @@ from .. import obs
 from ..props.exprs import CycleExpr
 from ..props.views import SymbolicOps, SymbolicTraceView
 from ..rtl.netlist import Netlist
-from ..solver.bitblast import blast_frame
+from ..solver.bitblast import blast_frame, paused_gc
 from ..solver.bits import BitBuilder
 from ..solver.sat import SAT, UNKNOWN, UNSAT, SatSolver
 from .outcomes import REACHABLE, UNDETERMINED, UNREACHABLE, CheckResult
@@ -43,13 +43,6 @@ def _unroll(builder, netlist, initial_state, horizon, solver):
     return frames
 
 
-def _state_equal(builder, state_a, state_b):
-    bits = []
-    for name in state_a:
-        bits.append(builder.word_eq(state_a[name], state_b[name]))
-    return builder.and_many(bits)
-
-
 def _merge_counters(*deltas):
     """Sum per-solve counter dicts (base + inductive step)."""
     merged: Dict[str, int] = {}
@@ -67,6 +60,7 @@ def prove_unreachable_kinduction(
     conflict_budget: Optional[int] = 200000,
     simple_path: bool = True,
     pool=None,
+    preprocess: bool = True,
 ) -> CheckResult:
     """Try to prove ``bad`` globally unreachable via k-induction.
 
@@ -110,17 +104,20 @@ def prove_unreachable_kinduction(
     with obs.span("mc.kinduction", k=k) as root:
         # ---- base case: BMC from reset for k steps
         with obs.span("mc.kinduction.base"):
-            base_solver = SatSolver()
+            base_solver = SatSolver(preprocess=preprocess)
             base_builder = BitBuilder(base_solver)
-            reset_state: Dict[str, List[int]] = {}
-            for reg, _ in netlist.registers:
-                if reg.name in symbolic_registers:
-                    reset_state[reg.name] = base_builder.fresh_word(reg.width)
-                else:
-                    reset_state[reg.name] = base_builder.const_word(
-                        reg.reset, reg.width
-                    )
-            base_frames = _unroll(base_builder, netlist, reset_state, k, base_solver)
+            with paused_gc():
+                reset_state: Dict[str, List[int]] = {}
+                for reg, _ in netlist.registers:
+                    if reg.name in symbolic_registers:
+                        reset_state[reg.name] = base_builder.fresh_word(reg.width)
+                    else:
+                        reset_state[reg.name] = base_builder.const_word(
+                            reg.reset, reg.width
+                        )
+                base_frames = _unroll(
+                    base_builder, netlist, reset_state, k, base_solver
+                )
             base_view = SymbolicTraceView(base_frames, base_builder)
             base_ops = SymbolicOps(base_builder)
             target = base_builder.FALSE
@@ -151,28 +148,41 @@ def prove_unreachable_kinduction(
 
         # ---- inductive step: arbitrary start state, k good steps, bad at k
         with obs.span("mc.kinduction.step"):
-            step_solver = SatSolver()
+            step_solver = SatSolver(preprocess=preprocess)
             step_builder = BitBuilder(step_solver)
-            free_state: Dict[str, List[int]] = {
-                reg.name: step_builder.fresh_word(reg.width)
-                for reg, _ in netlist.registers
-            }
-            step_frames = _unroll(
-                step_builder, netlist, free_state, k + 1, step_solver
-            )
+            with paused_gc():
+                free_state: Dict[str, List[int]] = {
+                    reg.name: step_builder.fresh_word(reg.width)
+                    for reg, _ in netlist.registers
+                }
+                step_frames = _unroll(
+                    step_builder, netlist, free_state, k + 1, step_solver
+                )
             step_view = SymbolicTraceView(step_frames, step_builder)
             step_ops = SymbolicOps(step_builder)
             for t in range(k):
                 good = -bad.evaluate(step_view, t, step_ops)
                 step_solver.add_clause([good])
             if simple_path:
+                # distinctness as one clause of per-bit difference gates
+                # per state pair -- the exact encoding the incremental
+                # context asserts, so the parity legs compare identical
+                # step formulas
                 states = [free_state] + [
                     frame.next_state for frame in step_frames[:-1]
                 ]
-                for i in range(len(states)):
-                    for j in range(i + 1, len(states)):
-                        same = _state_equal(step_builder, states[i], states[j])
-                        step_solver.add_clause([-same])
+                with paused_gc():
+                    for i in range(len(states)):
+                        for j in range(i + 1, len(states)):
+                            diff: List[int] = []
+                            for name in states[i]:
+                                diff.extend(
+                                    step_builder.xor_(x, y)
+                                    for x, y in zip(
+                                        states[i][name], states[j][name]
+                                    )
+                                )
+                            step_solver.add_clause(diff)
             bad_at_k = bad.evaluate(step_view, k, step_ops)
             verdict = step_solver.solve(
                 assumptions=[bad_at_k], max_conflicts=conflict_budget

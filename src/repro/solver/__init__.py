@@ -9,6 +9,18 @@ formulas one clock cycle at a time.
 
 from .sat import SAT, UNKNOWN, UNSAT, SatSolver
 from .bits import BitBuilder
-from .bitblast import Frame, blast_frame
+from .bitblast import Frame, blast_frame, paused_gc
+from .share import EXCHANGE, ClauseExchange
 
-__all__ = ["SAT", "UNKNOWN", "UNSAT", "SatSolver", "BitBuilder", "Frame", "blast_frame"]
+__all__ = [
+    "SAT",
+    "UNKNOWN",
+    "UNSAT",
+    "SatSolver",
+    "BitBuilder",
+    "Frame",
+    "blast_frame",
+    "paused_gc",
+    "ClauseExchange",
+    "EXCHANGE",
+]

@@ -28,8 +28,11 @@ class BitBuilder:
         solver.add_clause([true_var])
         self.TRUE = true_var
         self.FALSE = -true_var
-        self._and_cache: Dict[Tuple[int, int], int] = {}
-        self._xor_cache: Dict[Tuple[int, int], int] = {}
+        # gate caches keyed by (smaller << 32) + larger literal: an int
+        # key hashes to itself, which beats allocating and hashing a
+        # tuple on every gate request (injective while |literal| < 2**31)
+        self._and_cache: Dict[int, int] = {}
+        self._xor_cache: Dict[int, int] = {}
 
     def new_bit(self) -> int:
         return self.solver.new_var()
@@ -42,13 +45,10 @@ class BitBuilder:
             return b
         if b == self.TRUE or a == b:
             return a
-        key = (a, b) if a < b else (b, a)
+        key = (a << 32) + b if a < b else (b << 32) + a
         out = self._and_cache.get(key)
         if out is None:
-            out = self.solver.new_var()
-            self.solver.add_clause([-out, a])
-            self.solver.add_clause([-out, b])
-            self.solver.add_clause([out, -a, -b])
+            out = self.solver.new_and_gate(a, b)
             self._and_cache[key] = out
         return out
 
@@ -77,14 +77,10 @@ class BitBuilder:
             a, negate = -a, not negate
         if b < 0:
             b, negate = -b, not negate
-        key = (a, b) if a < b else (b, a)
+        key = (a << 32) + b if a < b else (b << 32) + a
         out = self._xor_cache.get(key)
         if out is None:
-            out = self.solver.new_var()
-            self.solver.add_clause([-out, a, b])
-            self.solver.add_clause([-out, -a, -b])
-            self.solver.add_clause([out, -a, b])
-            self.solver.add_clause([out, a, -b])
+            out = self.solver.new_xor_gate(a, b)
             self._xor_cache[key] = out
         return -out if negate else out
 

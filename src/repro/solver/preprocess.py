@@ -1,0 +1,485 @@
+"""SatELite-style CNF preprocessing for :class:`~repro.solver.sat.SatSolver`.
+
+Run once, immediately before a solver's first search (``SatSolver(
+preprocess=True)``, the default).  Three passes over the original clause
+database:
+
+* **structural hashing** -- duplicate clauses are collapsed to one copy
+  (gate-level structural hashing already happens in
+  :class:`~repro.solver.bits.BitBuilder`'s caches; this catches the
+  clause-level duplicates different gates still emit);
+* **subsumption and self-subsuming resolution** -- a clause ``C`` deletes
+  every clause it is a subset of, and strengthens ``D`` to ``D \\ {-l}``
+  whenever ``C \\ {l} subset of D`` and ``-l in D`` (the resolvent of
+  ``C`` and ``D`` on ``l`` subsumes ``D``), with 64-bit variable
+  signatures pruning the candidate checks;
+* **bounded variable elimination (BVE)** -- a variable whose resolvent
+  set is no larger than the clauses it replaces is resolved away.  The
+  replaced clauses are *saved* on the solver's elimination stack, which
+  supports the two operations incremental use needs:
+
+  - **model reconstruction**: after SAT, eliminated variables get values
+    by walking the stack in reverse and satisfying each variable's saved
+    clauses (``SatSolver._reconstruct_model``), so callers keep reading
+    models in terms of original variables;
+  - **unelimination on demand**: a later clause or assumption that
+    mentions an eliminated variable restores its saved clauses first
+    (``SatSolver._uneliminate``), so ``BmcContext.extend_to`` /
+    ``InductionPool`` growth and ``retract()`` never observe the
+    elimination.
+
+Soundness of verdicts and cores: every transformed clause is a
+resolution consequence of the original database (resolvents, subsets,
+strengthenings), so the preprocessed formula is implied by the original
+-- an UNSAT answer (and any assumption core supporting it) therefore
+holds for the original formula too; a SAT answer extends to the original
+via reconstruction.  *Frozen* variables -- activation literals and
+anything assumed at preprocessing time -- are never eliminated:
+resolving a guard variable away would merge clauses across property
+boundaries and break :meth:`~repro.solver.sat.SatSolver.retract`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Set
+
+from ..obs.metrics import REGISTRY
+
+__all__ = ["preprocess", "PreprocessStats"]
+
+_RUNS = REGISTRY.counter(
+    "repro_solver_preprocess_runs_total", "preprocessing passes executed"
+)
+_REMOVED = REGISTRY.counter(
+    "repro_solver_preprocess_clauses_removed_total",
+    "clauses removed by preprocessing, by reason",
+)
+_STRENGTHENED = REGISTRY.counter(
+    "repro_solver_preprocess_clauses_strengthened_total",
+    "clauses strengthened by self-subsuming resolution",
+)
+_VARS_ELIMINATED = REGISTRY.counter(
+    "repro_solver_preprocess_vars_eliminated_total",
+    "variables eliminated by bounded variable elimination",
+)
+_SECONDS = REGISTRY.histogram(
+    "repro_solver_preprocess_seconds", "wall-clock seconds per preprocessing run"
+)
+_SKIPPED = REGISTRY.counter(
+    "repro_solver_preprocess_skipped_total",
+    "preprocessing runs skipped (clause DB over the size gate)",
+)
+
+# a variable is a BVE candidate only while its positive/negative
+# occurrence product stays below this (SatELite's cheap-resolution bound)
+_BVE_MAX_PAIRS = 64
+# clauses longer than this never participate as subsumers or resolvent
+# inputs -- subset tests over long clauses cost more than they save
+_MAX_CLAUSE_LEN = 16
+# full var-elimination passes (each pass re-scans candidates cheapest-first)
+_BVE_PASSES = 2
+# formulas above this clause count skip preprocessing entirely: on the
+# build-dominated unrollings the model checker emits (hundreds of
+# thousands of structurally-hashed Tseitin clauses), a Python-loop pass
+# over every literal costs more than the search it would save, while the
+# small-to-mid formulas where CDCL actually struggles stay under it.
+# Tests pin this down both ways (tests/test_solver_diff.py).
+_CLAUSE_LIMIT = 20000
+
+
+class PreprocessStats(dict):
+    """Plain dict of pass statistics (duplicates, subsumed, ...)."""
+
+
+def _is_frozen(var: int, frozen: Set[int]) -> bool:
+    """Whether ``var`` must survive BVE (activation/assumption literal).
+
+    A module-level hook on purpose: the differential harness's mutation
+    tests monkeypatch it to prove breaking frozen-variable protection is
+    caught (tests/test_solver_diff.py).
+    """
+    return var in frozen
+
+
+def _subsumes(small: List[int], big: List[int]) -> bool:
+    """Subset test over sorted encoded-literal clauses (polarity exact).
+
+    Also a mutation-test hook: comparing variables while ignoring
+    polarity here is the classic unsound shortcut the harness must flag.
+    """
+    i = j = 0
+    ls, lb = len(small), len(big)
+    while i < ls:
+        if lb - j < ls - i:
+            return False
+        x = small[i]
+        while j < lb and big[j] < x:
+            j += 1
+        if j >= lb or big[j] != x:
+            return False
+        i += 1
+        j += 1
+    return True
+
+
+def _sig(clause: Iterable[int]) -> int:
+    """64-bit variable signature: superset clauses have superset bits."""
+    s = 0
+    for enc in clause:
+        s |= 1 << ((enc >> 1) & 63)
+    return s
+
+
+class _Pass:
+    """One preprocessing run over a solver's original clause database."""
+
+    def __init__(self, solver, frozen: Set[int]):
+        self.solver = solver
+        self.frozen = frozen
+        self.clauses: List[List[int]] = []  # sorted encoded lits
+        self.alive: List[bool] = []
+        self.sigs: List[int] = []
+        self.occs: Dict[int, Set[int]] = {}
+        self.keys: Set[tuple] = set()
+        self.stats = PreprocessStats(
+            duplicates=0,
+            satisfied=0,
+            subsumed=0,
+            strengthened=0,
+            eliminated_vars=0,
+            eliminated_clauses=0,
+            resolvents=0,
+        )
+
+    # ------------------------------------------------------------- load/store
+    def load(self) -> bool:
+        """Ingest the solver DB, root-simplified and deduplicated."""
+        lit_val = self.solver._lit_val
+        for clause in self.solver._clauses:
+            lits = []
+            satisfied = False
+            for enc in clause:
+                value = lit_val[enc]
+                if value == 1:
+                    satisfied = True
+                    break
+                if value == 0:
+                    lits.append(enc)
+            if satisfied:
+                self.stats["satisfied"] += 1
+                continue
+            if not lits:
+                self.solver._ok = False
+                return False
+            if len(lits) == 1:
+                # two-watched propagation should have caught this; be safe
+                if not self._assert_unit(lits[0]):
+                    return False
+                continue
+            lits.sort()
+            key = tuple(lits)
+            if key in self.keys:
+                self.stats["duplicates"] += 1
+                continue
+            self.keys.add(key)
+            self._append(lits)
+        return True
+
+    def _append(self, lits: List[int]) -> int:
+        ci = len(self.clauses)
+        self.clauses.append(lits)
+        self.alive.append(True)
+        self.sigs.append(_sig(lits))
+        for enc in lits:
+            self.occs.setdefault(enc, set()).add(ci)
+        return ci
+
+    def _kill(self, ci: int):
+        self.alive[ci] = False
+        for enc in self.clauses[ci]:
+            occ = self.occs.get(enc)
+            if occ is not None:
+                occ.discard(ci)
+
+    def _assert_unit(self, enc: int) -> bool:
+        """Apply a derived root unit and re-simplify touched clauses."""
+        solver = self.solver
+        if not solver._enqueue(enc, None) or solver._propagate() is not None:
+            solver._ok = False
+            return False
+        # lazily sweep clauses whose literals just became assigned: kill
+        # satisfied ones, strip falsified literals, chase new units
+        lit_val = solver._lit_val
+        pending = [enc]
+        while pending:
+            done = pending.pop()
+            for ci in list(self.occs.get(done, ())) + list(
+                self.occs.get(done ^ 1, ())
+            ):
+                if not self.alive[ci]:
+                    continue
+                lits = self.clauses[ci]
+                if any(lit_val[x] == 1 for x in lits):
+                    self.stats["satisfied"] += 1
+                    self._kill(ci)
+                    continue
+                stripped = [x for x in lits if lit_val[x] == 0]
+                if len(stripped) == len(lits):
+                    continue
+                if not stripped:
+                    solver._ok = False
+                    return False
+                if len(stripped) == 1:
+                    self._kill(ci)
+                    unit = stripped[0]
+                    if not solver._enqueue(unit, None) or solver._propagate() is not None:
+                        solver._ok = False
+                        return False
+                    pending.append(unit)
+                    continue
+                self._kill(ci)
+                self._append(stripped)
+        return True
+
+    # ------------------------------------------------- subsumption + SSR
+    def subsume_all(self):
+        order = sorted(
+            (ci for ci in range(len(self.clauses)) if self.alive[ci]),
+            key=lambda ci: len(self.clauses[ci]),
+        )
+        budget = 4 * len(order) + 64
+        queue = list(reversed(order))  # pop shortest first
+        while queue and budget > 0:
+            if not self.solver._ok:
+                return
+            budget -= 1
+            ci = queue.pop()
+            if ci >= len(self.alive) or not self.alive[ci]:
+                continue
+            queue.extend(self._subsume_with(ci))
+
+    def _subsume_with(self, ci: int) -> List[int]:
+        """Use clause ``ci`` as subsumer; returns re-check worklist."""
+        clause = self.clauses[ci]
+        if len(clause) > _MAX_CLAUSE_LEN:
+            return []
+        sig = self.sigs[ci]
+        requeue: List[int] = []
+        # plain subsumption: candidates must contain the rarest literal
+        rare = min(clause, key=lambda enc: len(self.occs.get(enc, ())))
+        for di in list(self.occs.get(rare, ())):
+            if di == ci or not self.alive[di]:
+                continue
+            big = self.clauses[di]
+            if len(big) < len(clause) or (sig & ~self.sigs[di]):
+                continue
+            if _subsumes(clause, big):
+                self.stats["subsumed"] += 1
+                self._kill(di)
+        # self-subsuming resolution: strengthen D by dropping -l when
+        # C \ {l} subset of D and -l in D
+        for l in clause:
+            rest = [x for x in clause if x != l]
+            for di in list(self.occs.get(l ^ 1, ())):
+                if di == ci or not self.alive[di]:
+                    continue
+                big = self.clauses[di]
+                if len(big) < len(clause) or (sig & ~self.sigs[di]):
+                    continue
+                if _subsumes(rest, big):
+                    if not self._strengthen(di, l ^ 1):
+                        return requeue
+                    if self.alive[di]:
+                        requeue.append(di)
+        return requeue
+
+    def _strengthen(self, di: int, drop_enc: int) -> bool:
+        self.stats["strengthened"] += 1
+        _STRENGTHENED.inc()
+        old = self.clauses[di]
+        new = [x for x in old if x != drop_enc]
+        self._kill(di)
+        if not new:
+            self.solver._ok = False
+            return False
+        if len(new) == 1:
+            return self._assert_unit(new[0])
+        key = tuple(new)
+        if key in self.keys:
+            self.stats["duplicates"] += 1
+            return True
+        self.keys.add(key)
+        self._append(new)
+        return True
+
+    # ----------------------------------------------------------------- BVE
+    def eliminate_all(self):
+        solver = self.solver
+        lit_val = solver._lit_val
+        for _ in range(_BVE_PASSES):
+            candidates = []
+            for var in range(1, solver.num_vars + 1):
+                if lit_val[var << 1] != 0 or var in solver._eliminated:
+                    continue
+                if _is_frozen(var, self.frozen):
+                    continue
+                pos = len(self.occs.get(var << 1, ()))
+                neg = len(self.occs.get((var << 1) | 1, ()))
+                if pos + neg == 0 or pos * neg > _BVE_MAX_PAIRS:
+                    continue
+                candidates.append((pos + neg, var))
+            candidates.sort()
+            any_eliminated = False
+            for _, var in candidates:
+                if not solver._ok:
+                    return
+                if lit_val[var << 1] != 0 or var in solver._eliminated:
+                    continue
+                if self._try_eliminate(var):
+                    any_eliminated = True
+            if not any_eliminated:
+                break
+
+    def _try_eliminate(self, var: int) -> bool:
+        pos_lit = var << 1
+        neg_lit = pos_lit | 1
+        pos = [ci for ci in self.occs.get(pos_lit, ()) if self.alive[ci]]
+        neg = [ci for ci in self.occs.get(neg_lit, ()) if self.alive[ci]]
+        if len(pos) * len(neg) > _BVE_MAX_PAIRS:
+            return False
+        if any(len(self.clauses[ci]) > _MAX_CLAUSE_LEN for ci in pos + neg):
+            return False
+        resolvents: List[List[int]] = []
+        seen_res: Set[tuple] = set()
+        limit = len(pos) + len(neg)
+        for pi in pos:
+            pc = self.clauses[pi]
+            for ni in neg:
+                nc = self.clauses[ni]
+                res = self._resolve(pc, nc, pos_lit, neg_lit)
+                if res is None:
+                    continue  # tautology
+                key = tuple(res)
+                if key in seen_res or key in self.keys:
+                    continue
+                seen_res.add(key)
+                resolvents.append(res)
+                if len(resolvents) > limit:
+                    return False  # growth: not worth it
+        # commit: save originals for reconstruction, swap in resolvents
+        solver = self.solver
+        saved = [list(self.clauses[ci]) for ci in pos + neg]
+        solver._elim_saved[var] = saved
+        solver._elim_order.append(var)
+        solver._eliminated.add(var)
+        for ci in pos + neg:
+            self._kill(ci)
+        self.stats["eliminated_vars"] += 1
+        self.stats["eliminated_clauses"] += len(saved)
+        self.stats["resolvents"] += len(resolvents)
+        for res in resolvents:
+            if len(res) == 1:
+                if not self._assert_unit(res[0]):
+                    return True
+                continue
+            self.keys.add(tuple(res))
+            self._append(res)
+        return True
+
+    @staticmethod
+    def _resolve(pc, nc, pos_lit, neg_lit):
+        """Resolvent of ``pc`` (contains pos_lit) and ``nc`` (neg_lit),
+        or None when tautological; inputs and output sorted."""
+        merged = []
+        lits = set()
+        for enc in pc:
+            if enc != pos_lit:
+                lits.add(enc)
+                merged.append(enc)
+        for enc in nc:
+            if enc == neg_lit or enc in lits:
+                continue
+            if enc ^ 1 in lits:
+                return None
+            merged.append(enc)
+        merged.sort()
+        return merged
+
+    # --------------------------------------------------------------- rebuild
+    def store(self):
+        """Write the surviving clauses back and rebuild the watch lists."""
+        solver = self.solver
+        lit_val = solver._lit_val
+        final: List[List[int]] = []
+        for ci, clause in enumerate(self.clauses):
+            if not self.alive[ci]:
+                continue
+            # a unit applied late may have satisfied/falsified survivors
+            if any(lit_val[enc] == 1 for enc in clause):
+                self.stats["satisfied"] += 1
+                continue
+            stripped = [enc for enc in clause if lit_val[enc] == 0]
+            if not stripped:
+                solver._ok = False
+                return
+            if len(stripped) == 1:
+                if not solver._enqueue(stripped[0], None) or solver._propagate() is not None:
+                    solver._ok = False
+                    return
+                continue
+            final.append(stripped)
+        solver._clauses = final
+        # keep the chunk-allocated capacity (len(_lit_val) slots, one per
+        # encoded literal), not just 2*num_vars+2 -- the fused gate
+        # emitters assume their slots pre-exist
+        solver._watches = [[] for _ in range(len(solver._lit_val))]
+        solver._bin_watches = [[] for _ in range(len(solver._lit_val))]
+        for clause in final:
+            solver._watch(clause)
+
+
+def preprocess(solver, frozen: Set[int]) -> PreprocessStats:
+    """Run the full pipeline on ``solver``; returns pass statistics.
+
+    ``frozen`` is the set of variables BVE must not touch (activation
+    literals plus anything currently assumed).  Mutates the solver's
+    clause database, watch lists, and elimination stack in place.  A
+    solver with a non-empty learned-clause database is left untouched --
+    preprocessing is a pre-search transformation.
+    """
+    started = time.perf_counter()
+    stats = PreprocessStats(
+        duplicates=0, satisfied=0, subsumed=0, strengthened=0,
+        eliminated_vars=0, eliminated_clauses=0, resolvents=0,
+    )
+    if not solver._ok or solver._learned:
+        return stats
+    if len(solver._clauses) > _CLAUSE_LIMIT:
+        # build-dominated regime: a Python pass over this many clauses
+        # costs far more than it saves the search (see _CLAUSE_LIMIT)
+        _SKIPPED.inc()
+        return stats
+    if solver._trail_lim:
+        solver._backtrack(0)
+    run = _Pass(solver, frozen)
+    if run.load():
+        run.subsume_all()
+        if solver._ok:
+            run.eliminate_all()
+    if solver._ok:
+        run.store()
+    stats = run.stats
+    _RUNS.inc()
+    if stats["duplicates"]:
+        _REMOVED.inc(stats["duplicates"], reason="duplicate")
+    if stats["satisfied"]:
+        _REMOVED.inc(stats["satisfied"], reason="satisfied")
+    if stats["subsumed"]:
+        _REMOVED.inc(stats["subsumed"], reason="subsumed")
+    if stats["eliminated_clauses"]:
+        _REMOVED.inc(stats["eliminated_clauses"], reason="eliminated")
+    if stats["eliminated_vars"]:
+        _VARS_ELIMINATED.inc(stats["eliminated_vars"])
+    _SECONDS.observe(time.perf_counter() - started)
+    return stats

@@ -4,14 +4,28 @@ This is the decision procedure underneath the bounded model checker -- the
 role JasperGold's engines play in the paper.  It is a conventional
 conflict-driven clause-learning solver:
 
-* two-watched-literal propagation,
+* two-watched-literal propagation over *flat* watch lists with blocker
+  literals (MiniSat's representation: one list per literal holding
+  alternating ``clause, blocker`` entries, so most watch visits are a
+  single list read and an integer compare),
 * first-UIP conflict analysis with clause minimization by self-subsumption
   against the reason graph,
 * VSIDS-style exponential variable activities with phase saving,
 * Luby-sequence restarts,
 * learned-clause database reduction by activity,
 * a conflict budget so callers can obtain honest ``UNKNOWN`` outcomes
-  (the paper's "undetermined" model-checker verdict, SS V-B).
+  (the paper's "undetermined" model-checker verdict, SS V-B),
+* an optional SatELite-style preprocessing pass (:mod:`.preprocess`)
+  run once before the first solve: duplicate-clause hashing,
+  subsumption / self-subsuming resolution, and bounded variable
+  elimination with model reconstruction, see ``preprocess=``.
+
+Internally literals are *encoded*: variable ``v`` becomes the literal
+pair ``2*v`` (positive) and ``2*v + 1`` (negative), so negation is
+``lit ^ 1``, the variable is ``lit >> 1``, and assignments live in one
+flat list indexed by encoded literal.  The public API keeps DIMACS
+conventions (nonzero ints, ``-v`` negates ``v``); conversion happens at
+the boundary only.
 
 The solver is *incremental*: learned clauses survive across
 :meth:`~SatSolver.solve` calls (assumptions are handled as the first
@@ -28,15 +42,35 @@ assumption literals actually used in the refutation (MiniSat's
 ``analyzeFinal``); it is reset on every call so verdicts never inherit a
 stale core from an earlier property.
 
+Variables eliminated by preprocessing are reconstructed on demand: a SAT
+answer extends the model over the eliminated variables from the saved
+clauses (SatELite's extend-in-reverse-elimination-order rule), and any
+later clause or assumption that mentions an eliminated variable
+*uneliminates* it first by restoring its saved clauses, so incremental
+use (``BmcContext.extend_to``, ``InductionPool`` growth, ``retract``)
+never observes the elimination.
+
+Portfolio clause sharing: :meth:`~SatSolver.mark_share_prefix` snapshots
+the variable count after a deterministic build; short learned clauses
+over prefix variables are collected for :meth:`~SatSolver.export_shared`
+and a peer solver built from the same recipe imports them with
+:meth:`~SatSolver.import_shared` behind an activation guard.  Callers
+must call :meth:`~SatSolver.freeze_share_export` before asserting any
+post-prefix fact that genuinely constrains prefix variables (e.g.
+simple-path distinctness added by ``extend_k``); Tseitin definitions
+over fresh variables, activation-guarded clauses and retraction units
+are conservative extensions and keep exports sound (DESIGN SS5i).
+
 Literals use DIMACS conventions: nonzero ints, ``-v`` is the negation of
 ``v``.  Variables are allocated densely from 1.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..obs.metrics import REGISTRY
 
@@ -68,10 +102,19 @@ _INCREMENTAL_REUSE = REGISTRY.counter(
     "repro_solver_incremental_reuse_total",
     "solve() calls answered on a reused solver (learned clauses retained)",
 )
+_SHARED_CLAUSES = REGISTRY.counter(
+    "repro_solver_shared_clauses_total",
+    "learned clauses crossing solver boundaries, by direction",
+)
 
 SAT = "sat"
 UNSAT = "unsat"
 UNKNOWN = "unknown"
+
+# longest learned clause eligible for cross-worker sharing
+SHARE_MAX_LEN = 8
+# cap on clauses buffered for export between harvests
+_EXPORT_POOL_CAP = 2048
 
 
 def _luby(i):
@@ -92,27 +135,55 @@ def _luby(i):
     return 1 << (k - 1)
 
 
+def _enc(lit: int) -> int:
+    """DIMACS literal -> encoded literal (2v for v, 2v+1 for -v)."""
+    return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+
+def _dec(enc: int) -> int:
+    """Encoded literal -> DIMACS literal."""
+    return -(enc >> 1) if enc & 1 else (enc >> 1)
+
+
 class SatSolver:
     """CDCL solver with incremental clause addition and assumptions."""
 
-    def __init__(self):
+    def __init__(self, preprocess: bool = True):
         self.num_vars = 0
-        # assignment: 0 unassigned, 1 true, -1 false, indexed by var
-        self._assign: List[int] = [0]
+        # truth value per *encoded* literal: 0 unassigned, 1 true, -1
+        # false; both polarities are kept in sync on (un)assignment so the
+        # propagation loop never branches on literal sign
+        self._lit_val: List[int] = [0, 0]
         self._level: List[int] = [0]
         self._reason: List[Optional[List[int]]] = [None]
         self._activity: List[float] = [0.0]
         self._phase: List[int] = [0]
-        self._watches: Dict[int, List[List[int]]] = {}
+        # flat watch lists indexed by encoded literal: _watches[p] holds
+        # alternating (clause, blocker) entries for clauses to examine
+        # when p is enqueued true (i.e. clauses watching p^1).  Binary
+        # clauses live in _bin_watches instead, as alternating
+        # (other_literal, clause) entries: their watches never move, so
+        # propagation reads the implied literal straight from the entry
+        # without dereferencing the clause
+        self._watches: List[List] = [[], []]
+        self._bin_watches: List[List] = [[], []]
         self._clauses: List[List[int]] = []
         self._learned: List[List[int]] = []
-        self._trail: List[int] = []
+        self._trail: List[int] = []  # encoded literals
         self._trail_lim: List[int] = []
         # VSIDS order heap with lazy (stale) entries: (-activity, var)
         # tuples, so pops yield the highest-activity unassigned variable
         # with lowest-var tie-breaking -- the same choice the previous
-        # linear scan made, at O(log n) instead of O(n) per decision
+        # linear scan made, at O(log n) instead of O(n) per decision.
+        # Freshly allocated variables are *not* pushed here; _search bulk
+        # enrolls vars in (_heap_limit, num_vars] before every search, so
+        # circuit construction skips one heappush per gate
         self._order_heap: List = []
+        self._heap_limit = 0
+        # variable slots are pre-allocated in chunks (all per-variable
+        # defaults are constants), so allocating a variable is just a
+        # counter bump; _var_cap counts the slots the arrays can hold
+        self._var_cap = 0
         self._qhead = 0
         self._var_inc = 1.0
         self._var_decay = 0.95
@@ -123,6 +194,9 @@ class SatSolver:
         self.restarts = 0
         self.learned_total = 0
         self.solves = 0
+        # persistent scratch for conflict analysis (avoids an O(num_vars)
+        # allocation per conflict)
+        self._seen = bytearray(1)
         # per-solve() counter deltas, refreshed by every solve() call; the
         # model-checking engines attach this to their CheckResults
         self.last_solve: Dict[str, int] = {}
@@ -131,17 +205,47 @@ class SatSolver:
         self.last_core: Optional[List[int]] = None
         self._activations: set = set()
         self._retired_activations: set = set()
+        # ---- preprocessing state (see repro.solver.preprocess)
+        self._preprocess = preprocess
+        self._frozen: set = set()
+        self._preprocessed = False
+        self._eliminated: set = set()
+        self._elim_order: List[int] = []
+        self._elim_saved: Dict[int, List[List[int]]] = {}
+        # model overlay for eliminated vars, rebuilt after each SAT answer
+        self._elim_model: Optional[Dict[int, bool]] = None
+        # ---- clause-sharing state (see repro.solver.share)
+        self._share_limit = 0  # 0 = sharing not armed
+        self._share_export_ok = False
+        self._export_pool: List[Tuple[int, ...]] = []
+        self._export_seen: set = set()
+        self._export_cursor = 0
 
     # ------------------------------------------------------------------ setup
+    def _grow(self):
+        """Extend the var-indexed arrays to cover ``num_vars`` (chunked)."""
+        cap = self._var_cap
+        new_cap = max(self.num_vars, 2 * cap, 1024)
+        delta = new_cap - cap
+        self._lit_val += [0] * (2 * delta)
+        self._level += [0] * delta
+        self._reason += [None] * delta
+        self._activity += [0.0] * delta
+        self._phase += [-1] * delta
+        self._seen += bytes(delta)
+        watches = self._watches
+        bin_watches = self._bin_watches
+        for _ in range(2 * delta):
+            watches.append([])
+            bin_watches.append([])
+        self._var_cap = new_cap
+
     def new_var(self) -> int:
-        self.num_vars += 1
-        self._assign.append(0)
-        self._level.append(0)
-        self._reason.append(None)
-        self._activity.append(0.0)
-        self._phase.append(-1)
-        heapq.heappush(self._order_heap, (0.0, self.num_vars))
-        return self.num_vars
+        out = self.num_vars + 1
+        self.num_vars = out
+        if out > self._var_cap:
+            self._grow()
+        return out
 
     def new_activation(self) -> int:
         """A fresh *activation literal* for retractable constraints.
@@ -151,11 +255,27 @@ class SatSolver:
         :meth:`retract` disables them for good.  The variable's saved
         phase starts negative, so an unassumed activation literal defaults
         to "inactive" and foreign properties' guards never burden an
-        unrelated check.
+        unrelated check.  Activation variables are also *frozen* for
+        preprocessing: eliminating one would resolve guarded clauses into
+        unguarded resolvents and break retraction.
         """
         act = self.new_var()
         self._activations.add(act)
         return act
+
+    def freeze(self, var: int) -> None:
+        """Protect ``var`` from elimination by preprocessing.
+
+        Callers freeze the variables later clauses or assumptions will
+        mention (e.g. a BMC context freezes its frames' named-signal and
+        next-state bits): eliminated variables are restored on demand,
+        but freezing the known interface avoids that churn entirely.
+        """
+        self._frozen.add(var)
+
+    def freeze_many(self, variables: Iterable[int]) -> None:
+        for var in variables:
+            self._frozen.add(var)
 
     def retract(self, activation: int) -> bool:
         """Permanently disable every clause guarded by ``activation``.
@@ -181,29 +301,41 @@ class SatSolver:
         """
         if not self._ok:
             return False
+        lits = list(lits)
         if activation is not None:
-            lits = list(lits) + [-activation]
+            lits.append(-activation)
         # Adding a clause invalidates any model from a previous solve().
         # Return to the root level first: the satisfied/falsified checks
         # below must only consult root facts, and a unit clause enqueued
         # here must land at level 0 -- enqueued at a stale decision level
         # it would be silently erased by the next search's backtrack,
         # losing the constraint (found by the differential fuzzer).
-        self._backtrack(0)
+        if self._trail_lim:
+            self._backtrack(0)
+        if self._eliminated:
+            # a clause touching an eliminated variable restores that
+            # variable's saved clauses first, so the new constraint and
+            # the old ones interact soundly (unelimination-on-demand)
+            for lit in lits:
+                if (lit if lit > 0 else -lit) in self._eliminated:
+                    self._uneliminate(lit if lit > 0 else -lit)
+        lit_val = self._lit_val
         seen = set()
         clause = []
         for lit in lits:
-            if -lit in seen:
+            enc = (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+            if enc ^ 1 in seen:
                 return True  # tautology
-            if lit in seen:
+            if enc in seen:
                 continue
-            seen.add(lit)
-            value = self._value(lit)
-            if value == 1 and self._level[abs(lit)] == 0:
+            seen.add(enc)
+            # at level 0 every current assignment is a root fact
+            value = lit_val[enc]
+            if value == 1:
                 return True  # already satisfied at top level
-            if value == -1 and self._level[abs(lit)] == 0:
+            if value == -1:
                 continue  # falsified at top level: drop literal
-            clause.append(lit)
+            clause.append(enc)
         if not clause:
             self._ok = False
             return False
@@ -220,9 +352,249 @@ class SatSolver:
         self._watch(clause)
         return True
 
+    def new_and_gate(self, a: int, b: int) -> int:
+        """Allocate a fresh variable and constrain it to ``a AND b``.
+
+        Fuses :meth:`new_var` + :meth:`add_and_gate` into one call and
+        inlines both: gate outputs account for nearly every variable a
+        circuit build allocates, so the saved dispatch and attribute
+        traffic is measurable on unrolled cores.  The fresh variable's
+        two watch lists are born pre-populated with its definition
+        clauses' entries instead of being extended after the fact.
+        """
+        lit_val = self._lit_val
+        ea = (a << 1) if a > 0 else ((-a) << 1) | 1
+        eb = (b << 1) if b > 0 else ((-b) << 1) | 1
+        if (
+            self._trail_lim
+            or lit_val[ea]
+            or lit_val[eb]
+            or ea >> 1 == eb >> 1
+            or not self._ok
+            or (
+                self._eliminated
+                and (ea >> 1 in self._eliminated or eb >> 1 in self._eliminated)
+            )
+        ):
+            out = self.new_var()
+            self.add_and_gate(out, a, b)
+            return out
+        out = self.num_vars + 1
+        self.num_vars = out
+        if out > self._var_cap:
+            self._grow()
+        po = out << 1
+        no = po | 1
+        c1 = [no, ea]
+        c2 = [no, eb]
+        c3 = [po, ea ^ 1, eb ^ 1]
+        self._clauses += (c1, c2, c3)
+        bin_watches = self._bin_watches
+        bin_watches[po] = [ea, c1, eb, c2]  # slot po: entries watching no
+        bin_watches[ea ^ 1] += (no, c1)
+        bin_watches[eb ^ 1] += (no, c2)
+        watches = self._watches
+        watches[no] = [c3, ea ^ 1]  # slot no: entries watching po
+        watches[ea] += (c3, po)
+        return out
+
+    def new_xor_gate(self, a: int, b: int) -> int:
+        """Allocate a fresh variable and constrain it to ``a XOR b``.
+
+        Same fusion as :meth:`new_and_gate`.
+        """
+        lit_val = self._lit_val
+        ea = (a << 1) if a > 0 else ((-a) << 1) | 1
+        eb = (b << 1) if b > 0 else ((-b) << 1) | 1
+        if (
+            self._trail_lim
+            or lit_val[ea]
+            or lit_val[eb]
+            or ea >> 1 == eb >> 1
+            or not self._ok
+            or (
+                self._eliminated
+                and (ea >> 1 in self._eliminated or eb >> 1 in self._eliminated)
+            )
+        ):
+            out = self.new_var()
+            self.add_xor_gate(out, a, b)
+            return out
+        out = self.num_vars + 1
+        self.num_vars = out
+        if out > self._var_cap:
+            self._grow()
+        po = out << 1
+        no = po | 1
+        c1 = [no, ea, eb]
+        c2 = [no, ea ^ 1, eb ^ 1]
+        c3 = [po, ea ^ 1, eb]
+        c4 = [po, ea, eb ^ 1]
+        self._clauses += (c1, c2, c3, c4)
+        watches = self._watches
+        watches[po] = [c1, ea, c2, ea ^ 1]  # slot po: entries watching no
+        watches[no] = [c3, ea ^ 1, c4, ea]  # slot no: entries watching po
+        watches[ea] += (c2, no, c3, po)
+        watches[ea ^ 1] += (c1, no, c4, po)
+        return out
+
+    def add_and_gate(self, out: int, a: int, b: int) -> bool:
+        """Emit the Tseitin clauses of ``out = a AND b`` (fast path).
+
+        Precondition: ``out`` is a freshly allocated variable no existing
+        clause mentions.  With ``a`` and ``b`` unassigned at the root and
+        over distinct variables, none of the three clauses can be
+        satisfied, unit, tautological or duplicated, so the generic
+        :meth:`add_clause` simplification is skipped and the clauses are
+        appended and watched directly -- this is the hottest call in
+        circuit construction (hundreds of thousands of gates per
+        unrolled core).  Any precondition miss (root-assigned input,
+        eliminated variable, shared input variable, open decision level)
+        falls back to :meth:`add_clause`, which handles every case.
+        """
+        if not self._ok:
+            return False
+        lit_val = self._lit_val
+        ea = (a << 1) if a > 0 else ((-a) << 1) | 1
+        eb = (b << 1) if b > 0 else ((-b) << 1) | 1
+        if (
+            self._trail_lim
+            or lit_val[ea]
+            or lit_val[eb]
+            or ea >> 1 == eb >> 1
+            or (
+                self._eliminated
+                and (ea >> 1 in self._eliminated or eb >> 1 in self._eliminated)
+            )
+        ):
+            return (
+                self.add_clause([-out, a])
+                and self.add_clause([-out, b])
+                and self.add_clause([out, -a, -b])
+            )
+        po = out << 1
+        no = po | 1
+        c1 = [no, ea]
+        c2 = [no, eb]
+        c3 = [po, ea ^ 1, eb ^ 1]
+        clauses = self._clauses
+        clauses.append(c1)
+        clauses.append(c2)
+        clauses.append(c3)
+        # same layout _watch produces: binaries in the (other, clause)
+        # lists, the ternary under w^1 with the other watched lit as blocker
+        bin_watches = self._bin_watches
+        bin_watches[po].extend((ea, c1, eb, c2))
+        bin_watches[ea ^ 1].extend((no, c1))
+        bin_watches[eb ^ 1].extend((no, c2))
+        watches = self._watches
+        watches[no].extend((c3, ea ^ 1))
+        watches[ea].extend((c3, po))
+        return True
+
+    def add_xor_gate(self, out: int, a: int, b: int) -> bool:
+        """Emit the Tseitin clauses of ``out = a XOR b`` (fast path).
+
+        Same precondition and fallback discipline as :meth:`add_and_gate`.
+        """
+        if not self._ok:
+            return False
+        lit_val = self._lit_val
+        ea = (a << 1) if a > 0 else ((-a) << 1) | 1
+        eb = (b << 1) if b > 0 else ((-b) << 1) | 1
+        if (
+            self._trail_lim
+            or lit_val[ea]
+            or lit_val[eb]
+            or ea >> 1 == eb >> 1
+            or (
+                self._eliminated
+                and (ea >> 1 in self._eliminated or eb >> 1 in self._eliminated)
+            )
+        ):
+            return (
+                self.add_clause([-out, a, b])
+                and self.add_clause([-out, -a, -b])
+                and self.add_clause([out, -a, b])
+                and self.add_clause([out, a, -b])
+            )
+        po = out << 1
+        no = po | 1
+        c1 = [no, ea, eb]
+        c2 = [no, ea ^ 1, eb ^ 1]
+        c3 = [po, ea ^ 1, eb]
+        c4 = [po, ea, eb ^ 1]
+        clauses = self._clauses
+        clauses.append(c1)
+        clauses.append(c2)
+        clauses.append(c3)
+        clauses.append(c4)
+        watches = self._watches
+        watches[po].extend((c1, ea, c2, ea ^ 1))
+        watches[no].extend((c3, ea ^ 1, c4, ea))
+        watches[ea].extend((c2, no, c3, po))
+        watches[ea ^ 1].extend((c1, no, c4, po))
+        return True
+
     def _watch(self, clause):
-        self._watches.setdefault(clause[0], []).append(clause)
-        self._watches.setdefault(clause[1], []).append(clause)
+        # watching clause[0] and clause[1]: the entry for a watched
+        # literal w lives in _watches[w ^ 1] (examined when w turns
+        # false), carrying the *other* watched literal as blocker.
+        # Binary clauses go to the dedicated (other, clause) lists
+        if len(clause) == 2:
+            self._bin_watches[clause[0] ^ 1].extend((clause[1], clause))
+            self._bin_watches[clause[1] ^ 1].extend((clause[0], clause))
+            return
+        self._watches[clause[0] ^ 1].extend((clause, clause[1]))
+        self._watches[clause[1] ^ 1].extend((clause, clause[0]))
+
+    def _attach_simplified(self, saved: List[int]) -> None:
+        """Re-add a saved (encoded) clause during unelimination."""
+        if not self._ok:
+            return
+        lit_val = self._lit_val
+        clause = []
+        for enc in saved:
+            value = lit_val[enc]
+            if value == 1:
+                return  # satisfied at root since it was saved
+            if value == -1:
+                continue
+            clause.append(enc)
+        if not clause:
+            self._ok = False
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None) or self._propagate() is not None:
+                self._ok = False
+            return
+        self._clauses.append(clause)
+        self._watch(clause)
+
+    def _uneliminate(self, var: int) -> None:
+        """Restore ``var``'s saved clauses (removed by preprocessing).
+
+        Clauses re-added here may mention *other* eliminated variables
+        (eliminated after ``var`` was); those are restored transitively so
+        the search always branches on every variable its clauses mention.
+        The resolvents the elimination introduced stay in the database --
+        they are implied by the restored clauses, so keeping them is
+        sound (just redundant).
+        """
+        stack = [var]
+        while stack:
+            v = stack.pop()
+            if v not in self._eliminated:
+                continue
+            self._eliminated.discard(v)
+            self._elim_order.remove(v)
+            saved = self._elim_saved.pop(v)
+            heapq.heappush(self._order_heap, (-self._activity[v], v))
+            for clause in saved:
+                for enc in clause:
+                    if (enc >> 1) in self._eliminated:
+                        stack.append(enc >> 1)
+                self._attach_simplified(clause)
 
     # --------------------------------------------------------------- interface
     def counters(self) -> Dict[str, int]:
@@ -248,11 +620,42 @@ class SatSolver:
         started = time.perf_counter()
         if self.solves:
             _INCREMENTAL_REUSE.inc(context="solver")
+        if self._ok:
+            if self._preprocess and not self._preprocessed:
+                self._preprocessed = True
+                from .preprocess import preprocess as _run_preprocess
+
+                frozen = set(self._activations)
+                frozen.update(self._retired_activations)
+                frozen.update(self._frozen)
+                for lit in assumptions:
+                    frozen.add(lit if lit > 0 else -lit)
+                _run_preprocess(self, frozen)
+            elif self._eliminated:
+                # assumptions over eliminated variables restore them first
+                # (rare: only assumptions minted before preprocessing ran)
+                for lit in assumptions:
+                    var = lit if lit > 0 else -lit
+                    if var in self._eliminated:
+                        if self._trail_lim:
+                            self._backtrack(0)
+                        self._uneliminate(var)
         verdict = UNSAT
+        # search allocates only acyclic objects (learned-clause lists, heap
+        # tuples); gen-0/gen-2 scans over a clause database this size cost
+        # more than the search itself, so pause collection for the call
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             verdict = self._search(assumptions, max_conflicts)
             return verdict
         finally:
+            if gc_was_enabled:
+                gc.enable()
+            self._elim_model = None
+            if verdict == SAT and self._elim_order:
+                self._reconstruct_model()
             elapsed = time.perf_counter() - started
             after = self.counters()
             delta = {key: after[key] - before[key] for key in after}
@@ -278,6 +681,24 @@ class SatSolver:
             self.last_core = []
             return UNSAT
         self._backtrack(0)
+        if self._heap_limit < self.num_vars:
+            # bulk-enroll variables allocated since the last search (gate
+            # emission skips the per-variable heappush; see _order_heap):
+            # one heapify after a big build, individual pushes for the
+            # few fresh variables a follow-up property contributes
+            heap = self._order_heap
+            activity = self._activity
+            missing = self.num_vars - self._heap_limit
+            if missing > len(heap) // 8:
+                heap.extend(
+                    (-activity[v], v)
+                    for v in range(self._heap_limit + 1, self.num_vars + 1)
+                )
+                heapq.heapify(heap)
+            else:
+                for v in range(self._heap_limit + 1, self.num_vars + 1):
+                    heapq.heappush(heap, (-activity[v], v))
+            self._heap_limit = self.num_vars
         conflict = self._propagate()
         if conflict is not None:
             self._ok = False
@@ -287,19 +708,20 @@ class SatSolver:
         restart_index = 1
         restart_limit = 64 * _luby(restart_index)
         restart_base = self.conflicts
+        lit_val = self._lit_val
 
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1
-                if self._decision_level() == 0:
+                if not self._trail_lim:
                     self._ok = False
                     self.last_core = []
                     return UNSAT
                 learned, back_level = self._analyze(conflict)
                 self._backtrack(back_level)
                 self._record_learned(learned)
-                self._decay_activities()
+                self._var_inc /= self._var_decay
                 if max_conflicts is not None and self.conflicts - budget_start >= max_conflicts:
                     self._backtrack(0)
                     return UNKNOWN
@@ -319,148 +741,210 @@ class SatSolver:
             # alone -> UNSAT under the assumption set
             next_assumption = None
             for lit in assumptions:
-                value = self._value(lit)
+                enc = (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+                value = lit_val[enc]
                 if value == -1:
                     self.last_core = self._analyze_final(lit)
                     return UNSAT
                 if value == 0:
-                    next_assumption = lit
+                    next_assumption = enc
                     break
             if next_assumption is not None:
                 self.decisions += 1
-                self._decide(next_assumption)
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(next_assumption, None)
                 continue
 
-            lit = self._pick_branch()
-            if lit is None:
+            enc = self._pick_branch()
+            if enc is None:
                 return SAT
             self.decisions += 1
-            self._decide(lit)
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(enc, None)
 
     def model_value(self, var: int) -> bool:
-        return self._assign[var] == 1
+        if self._elim_model is not None:
+            value = self._elim_model.get(var)
+            if value is not None:
+                return value
+        return self._lit_val[var << 1] == 1
 
     # ------------------------------------------------------------- internals
     def _value(self, lit: int) -> int:
-        value = self._assign[abs(lit)]
-        return value if lit > 0 else -value
+        """Truth value of a DIMACS literal (boundary/debug helper)."""
+        return self._lit_val[(lit << 1) if lit > 0 else ((-lit) << 1) | 1]
 
     def _decision_level(self) -> int:
         return len(self._trail_lim)
 
-    def _decide(self, lit: int):
-        self._trail_lim.append(len(self._trail))
-        self._enqueue(lit, None)
-
-    def _enqueue(self, lit: int, reason) -> bool:
-        if self._value(lit) == -1:
-            return False
-        if self._value(lit) == 1:
-            return True
-        var = abs(lit)
-        self._assign[var] = 1 if lit > 0 else -1
-        self._level[var] = self._decision_level()
+    def _enqueue(self, enc: int, reason) -> bool:
+        lit_val = self._lit_val
+        value = lit_val[enc]
+        if value:
+            return value == 1
+        var = enc >> 1
+        lit_val[enc] = 1
+        lit_val[enc ^ 1] = -1
+        self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
-        self._trail.append(lit)
+        self._trail.append(enc)
         return True
 
     def _propagate(self):
         """Unit propagation; returns the conflicting clause or None."""
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
-            self._qhead += 1
-            self.propagations += 1
-            false_lit = -lit
-            watchers = self._watches.get(false_lit)
-            if not watchers:
-                continue
-            new_watchers = []
-            conflict = None
-            for ci in range(len(watchers)):
-                clause = watchers[ci]
+        lit_val = self._lit_val
+        watches = self._watches
+        trail = self._trail
+        level = len(self._trail_lim)
+        levels = self._level
+        reasons = self._reason
+        bin_watches = self._bin_watches
+        qhead = self._qhead
+        props = 0
+        conflict = None
+        while qhead < len(trail):
+            p = trail[qhead]
+            qhead += 1
+            props += 1
+            bl = bin_watches[p]
+            if bl:
+                # binary clauses first: the implied literal sits in the
+                # entry itself, no clause dereference or watch movement
+                for bi in range(0, len(bl), 2):
+                    other = bl[bi]
+                    value = lit_val[other]
+                    if value == 1:
+                        continue
+                    if value == -1:
+                        conflict = bl[bi + 1]
+                        break
+                    var = other >> 1
+                    lit_val[other] = 1
+                    lit_val[other ^ 1] = -1
+                    levels[var] = level
+                    reasons[var] = bl[bi + 1]
+                    trail.append(other)
                 if conflict is not None:
-                    new_watchers.append(clause)
+                    break
+            wl = watches[p]
+            if not wl:
+                continue
+            false_lit = p ^ 1
+            i = j = 0
+            n = len(wl)
+            while i < n:
+                blocker = wl[i + 1]
+                if lit_val[blocker] == 1:
+                    wl[j] = wl[i]
+                    wl[j + 1] = blocker
+                    j += 2
+                    i += 2
                     continue
-                # ensure false_lit is at slot 1
+                clause = wl[i]
+                i += 2
                 if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
+                    clause[0] = clause[1]
+                    clause[1] = false_lit
                 first = clause[0]
-                if self._value(first) == 1:
-                    new_watchers.append(clause)
+                if lit_val[first] == 1:
+                    wl[j] = clause
+                    wl[j + 1] = first
+                    j += 2
                     continue
                 moved = False
                 for k in range(2, len(clause)):
-                    if self._value(clause[k]) != -1:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self._watches.setdefault(clause[1], []).append(clause)
+                    ck = clause[k]
+                    if lit_val[ck] != -1:
+                        clause[1] = ck
+                        clause[k] = false_lit
+                        other = watches[ck ^ 1]
+                        other.append(clause)
+                        other.append(first)
                         moved = True
                         break
                 if moved:
                     continue
-                new_watchers.append(clause)
-                if not self._enqueue(first, clause):
+                wl[j] = clause
+                wl[j + 1] = first
+                j += 2
+                if lit_val[first] == -1:
                     conflict = clause
-            self._watches[false_lit] = new_watchers
+                    while i < n:
+                        wl[j] = wl[i]
+                        wl[j + 1] = wl[i + 1]
+                        j += 2
+                        i += 2
+                    break
+                var = first >> 1
+                lit_val[first] = 1
+                lit_val[first ^ 1] = -1
+                levels[var] = level
+                reasons[var] = clause
+                trail.append(first)
+            del wl[j:]
             if conflict is not None:
-                return conflict
-        return None
+                break
+        self._qhead = qhead
+        self.propagations += props
+        return conflict
 
     def _analyze(self, conflict):
         """First-UIP learning; returns (learned_clause, backtrack_level)."""
         learned = [0]  # placeholder for the asserting literal
-        seen = [False] * (self.num_vars + 1)
+        seen = self._seen
+        to_clear = []
         counter = 0
         lit = None
         clause = conflict
-        index = len(self._trail) - 1
-        current_level = self._decision_level()
+        trail = self._trail
+        levels = self._level
+        index = len(trail) - 1
+        current_level = len(self._trail_lim)
 
         while True:
             for q in clause:
-                if lit is not None and q == lit:
+                if q == lit:
                     continue
-                var = abs(q)
-                if not seen[var] and self._level[var] > 0:
-                    seen[var] = True
+                var = q >> 1
+                if not seen[var] and levels[var] > 0:
+                    seen[var] = 1
+                    to_clear.append(var)
                     self._bump(var)
-                    if self._level[var] >= current_level:
+                    if levels[var] >= current_level:
                         counter += 1
                     else:
                         learned.append(q)
-            while not seen[abs(self._trail[index])]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            lit = self._trail[index]
-            var = abs(lit)
-            seen[var] = False
+            lit = trail[index]
+            var = lit >> 1
+            seen[var] = 0
             counter -= 1
             if counter == 0:
-                learned[0] = -lit
+                learned[0] = lit ^ 1
                 break
             clause = self._reason[var]
             index -= 1
 
         # clause minimization: drop literals implied by the rest
-        def redundant(q):
-            reason = self._reason[abs(q)]
-            if reason is None:
-                return False
-            for r in reason:
-                if abs(r) == abs(q):
-                    continue
-                if not seen_set(abs(r)) and self._level[abs(r)] > 0:
-                    return False
-            return True
-
-        marked = set(abs(q) for q in learned[1:])
-
-        def seen_set(var):
-            return var in marked
-
+        marked = set(q >> 1 for q in learned[1:])
+        reasons = self._reason
         kept = [learned[0]]
         for q in learned[1:]:
-            if not redundant(q):
+            reason = reasons[q >> 1]
+            redundant = reason is not None
+            if redundant:
+                qv = q >> 1
+                for r in reason:
+                    rv = r >> 1
+                    if rv != qv and rv not in marked and levels[rv] > 0:
+                        redundant = False
+                        break
+            if not redundant:
                 kept.append(q)
         learned = kept
+        for var in to_clear:
+            seen[var] = 0
 
         if len(learned) == 1:
             return learned, 0
@@ -468,7 +952,7 @@ class SatSolver:
         back_level = 0
         swap_index = 1
         for i in range(1, len(learned)):
-            lvl = self._level[abs(learned[i])]
+            lvl = levels[learned[i] >> 1]
             if lvl > back_level:
                 back_level = lvl
                 swap_index = i
@@ -486,19 +970,20 @@ class SatSolver:
         consequences, not assumptions, and are skipped.
         """
         core = [false_lit]
-        seen = {abs(false_lit)}
+        seen = {false_lit if false_lit > 0 else -false_lit}
+        levels = self._level
         for i in range(len(self._trail) - 1, -1, -1):
-            lit = self._trail[i]
-            var = abs(lit)
-            if var not in seen or self._level[var] == 0:
+            enc = self._trail[i]
+            var = enc >> 1
+            if var not in seen or levels[var] == 0:
                 continue
             reason = self._reason[var]
             if reason is None:
-                core.append(lit)
+                core.append(_dec(enc))
             else:
                 for q in reason:
-                    if abs(q) != var:
-                        seen.add(abs(q))
+                    if q >> 1 != var:
+                        seen.add(q >> 1)
         return core
 
     def _record_learned(self, learned):
@@ -509,38 +994,67 @@ class SatSolver:
         self._learned.append(learned)
         self._watch(learned)
         self._enqueue(learned[0], learned)
+        if (
+            self._share_export_ok
+            and len(learned) <= SHARE_MAX_LEN
+            and len(self._export_pool) < _EXPORT_POOL_CAP
+        ):
+            limit = self._share_limit
+            for q in learned:
+                if q >> 1 > limit:
+                    return
+            key = tuple(sorted(_dec(q) for q in learned))
+            if key not in self._export_seen:
+                self._export_seen.add(key)
+                self._export_pool.append(key)
 
     def _backtrack(self, level):
-        if self._decision_level() <= level:
+        if len(self._trail_lim) <= level:
             return
         limit = self._trail_lim[level]
         heap = self._order_heap
-        for i in range(len(self._trail) - 1, limit - 1, -1):
-            lit = self._trail[i]
-            var = abs(lit)
-            self._phase[var] = 1 if lit > 0 else -1
-            self._assign[var] = 0
-            self._reason[var] = None
-            heapq.heappush(heap, (-self._activity[var], var))
-        del self._trail[limit:]
+        trail = self._trail
+        lit_val = self._lit_val
+        phase = self._phase
+        activity = self._activity
+        heappush = heapq.heappush
+        # _reason entries are left stale on purpose: reasons are only read
+        # for *assigned* variables (trail walks in _analyze/_analyze_final)
+        # and _enqueue overwrites on reassignment; _reduce_learned treats
+        # stale entries as protected, which is merely conservative
+        for i in range(len(trail) - 1, limit - 1, -1):
+            enc = trail[i]
+            var = enc >> 1
+            phase[var] = -1 if enc & 1 else 1
+            lit_val[enc] = 0
+            lit_val[enc ^ 1] = 0
+            heappush(heap, (-activity[var], var))
+        del trail[limit:]
         del self._trail_lim[level:]
-        self._qhead = len(self._trail)
+        self._qhead = limit
 
     def _pick_branch(self):
         # lazy-deletion heap: entries go stale when a variable is assigned
         # or its activity is bumped (the bump pushes a fresh entry), so pop
-        # until an entry matches the variable's current state
+        # until an entry matches the variable's current state; variables
+        # eliminated by preprocessing are skipped (no clause mentions
+        # them; model reconstruction assigns them after SAT)
         heap = self._order_heap
         activity = self._activity
-        assign = self._assign
+        lit_val = self._lit_val
+        eliminated = self._eliminated
         while heap:
             neg_act, var = heapq.heappop(heap)
-            if assign[var] == 0 and -neg_act == activity[var]:
-                sign = self._phase[var]
-                return var if sign > 0 else -var
+            if (
+                lit_val[var << 1] == 0
+                and -neg_act == activity[var]
+                and var not in eliminated
+            ):
+                return (var << 1) if self._phase[var] > 0 else (var << 1) | 1
         # every unassigned variable has a current entry by construction
-        # (new_var / _bump / _backtrack all push), so an empty heap means a
-        # complete assignment
+        # (the search-entry bulk enroll, _bump, _backtrack and
+        # _uneliminate all push), so an empty heap means a complete
+        # assignment
         return None
 
     def _bump(self, var):
@@ -552,23 +1066,177 @@ class SatSolver:
             self._order_heap = [
                 (-self._activity[v], v)
                 for v in range(1, self.num_vars + 1)
-                if self._assign[v] == 0
+                if self._lit_val[v << 1] == 0 and v not in self._eliminated
             ]
             heapq.heapify(self._order_heap)
-        elif self._assign[var] == 0:
+        elif self._lit_val[var << 1] == 0:
             heapq.heappush(self._order_heap, (-self._activity[var], var))
 
     def _decay_activities(self):
         self._var_inc /= self._var_decay
 
     def _reduce_learned(self):
-        """Drop the less useful half of learned clauses (longest first)."""
+        """Drop the less useful half of learned clauses (longest first).
+
+        Binary learned clauses are never dropped: they are the cheapest
+        to propagate, and their entries in the dedicated binary watch
+        lists are permanent (the sweep below only rewrites the movable
+        ``_watches`` lists).
+        """
         self._learned.sort(key=len)
         keep = self._learned[: len(self._learned) // 2]
-        dropped = set(id(c) for c in self._learned[len(self._learned) // 2 :])
+        dropped = set(
+            id(c) for c in self._learned[len(self._learned) // 2 :] if len(c) > 2
+        )
         # clauses may be reason for current (level-0) assignments; protect them
         protected = set(id(r) for r in self._reason if r is not None)
         dropped -= protected
-        for lit in list(self._watches):
-            self._watches[lit] = [c for c in self._watches[lit] if id(c) not in dropped]
+        for wl in self._watches:
+            if not wl:
+                continue
+            j = 0
+            for i in range(0, len(wl), 2):
+                if id(wl[i]) not in dropped:
+                    wl[j] = wl[i]
+                    wl[j + 1] = wl[i + 1]
+                    j += 2
+            del wl[j:]
         self._learned = [c for c in self._learned if id(c) not in dropped]
+
+    def check_watch_invariant(self) -> bool:
+        """Every clause of length >= 2 is watched on exactly its first two
+        literals, each watch entry carrying the other watched literal of
+        that clause as its blocker at registration time.
+
+        A structural self-check for the regression suite: the historical
+        bug this guards against is a clause registered on ``clause[0]``
+        only, which silently skips propagations when ``clause[1]``
+        becomes false.
+        """
+        expected: Dict[int, List[int]] = {}
+        for clause in self._clauses + self._learned:
+            expected[id(clause)] = [clause[0], clause[1]]
+        found: Dict[int, List[int]] = {}
+        for p in range(2, 2 * self.num_vars + 2):
+            wl = self._watches[p]
+            for i in range(0, len(wl), 2):
+                clause = wl[i]
+                if id(clause) not in expected:
+                    return False  # watch entry for a removed clause
+                if len(clause) == 2:
+                    return False  # binary clause in the movable lists
+                watched = p ^ 1  # entries under p watch literal p^1
+                if watched not in clause[:2]:
+                    return False  # watched literal drifted out of slots 0/1
+                found.setdefault(id(clause), []).append(watched)
+            bl = self._bin_watches[p]
+            for i in range(0, len(bl), 2):
+                clause = bl[i + 1]
+                if id(clause) not in expected:
+                    return False  # binary entry for a removed clause
+                if len(clause) != 2:
+                    return False  # non-binary clause in the binary lists
+                watched = p ^ 1
+                if watched not in clause:
+                    return False
+                if bl[i] not in clause or bl[i] == watched:
+                    return False  # implied-literal slot must be the other lit
+                found.setdefault(id(clause), []).append(watched)
+        for cid, watch_lits in expected.items():
+            got = sorted(found.get(cid, []))
+            if got != sorted(watch_lits):
+                return False  # missing or asymmetric watches
+        return True
+
+    # ----------------------------------------------------- model reconstruction
+    def _reconstruct_model(self):
+        """Extend a SAT model over eliminated variables.
+
+        SatELite's rule: walk the elimination stack in reverse order; a
+        variable is set true iff one of its saved clauses with a positive
+        occurrence has every *other* literal false under the model built
+        so far (otherwise false satisfies all negative occurrences --
+        the resolvents being satisfied guarantees one polarity works).
+        """
+        overlay: Dict[int, bool] = {}
+        lit_val = self._lit_val
+
+        def _lit_true(enc):
+            var = enc >> 1
+            if var in overlay:
+                value = overlay[var]
+            else:
+                value = lit_val[var << 1] == 1
+            return (not value) if enc & 1 else value
+
+        for var in reversed(self._elim_order):
+            pos = var << 1
+            if lit_val[pos] != 0:
+                # eliminated, then root-assigned by a late unit chain over
+                # the original watch structure: the search's value is a
+                # sound consequence and provably agrees with the saved
+                # clauses, so keep it
+                overlay[var] = lit_val[pos] == 1
+                continue
+            value = False
+            for clause in self._elim_saved[var]:
+                if pos in clause and not any(
+                    _lit_true(enc) for enc in clause if enc != pos
+                ):
+                    value = True
+                    break
+            overlay[var] = value
+        self._elim_model = overlay
+
+    # ------------------------------------------------------------ clause sharing
+    def mark_share_prefix(self) -> int:
+        """Arm clause export over the current (deterministic) prefix.
+
+        Call once the formula prefix every portfolio peer builds
+        identically is in place.  From here on, learned clauses of length
+        <= ``SHARE_MAX_LEN`` whose variables all lie in the prefix are
+        buffered for :meth:`export_shared`.  Callers must
+        :meth:`freeze_share_export` before asserting any post-prefix fact
+        that constrains prefix variables (see module docstring).
+        """
+        self._share_limit = self.num_vars
+        self._share_export_ok = True
+        return self._share_limit
+
+    def freeze_share_export(self) -> None:
+        """Permanently stop collecting clauses for export.
+
+        Required before non-conservative post-prefix assertions (e.g. the
+        deeper simple-path constraints ``extend_k`` adds): clauses learned
+        after them are no longer implied by the shared prefix alone.
+        Imports stay sound -- an implied clause remains implied when the
+        formula grows -- so importing continues after a freeze.
+        """
+        self._share_export_ok = False
+
+    def export_shared(self) -> List[Tuple[int, ...]]:
+        """Drain newly buffered shareable learned clauses (DIMACS tuples)."""
+        batch = self._export_pool[self._export_cursor :]
+        self._export_cursor = len(self._export_pool)
+        if batch:
+            _SHARED_CLAUSES.inc(len(batch), direction="exported")
+        return batch
+
+    def import_shared(
+        self, clauses: Iterable[Sequence[int]], activation: int
+    ) -> int:
+        """Install peer-learned clauses behind ``activation``.
+
+        The guard keeps foreign clauses inert unless the importing
+        context assumes the guard on its own solves, and lets the whole
+        import be retracted at once -- shared clauses can never poison an
+        unrelated check's assumption state.
+        """
+        count = 0
+        for clause in clauses:
+            if not self.add_clause(clause, activation=activation):
+                break
+            count += 1
+        if count:
+            _SHARED_CLAUSES.inc(count, direction="imported")
+        return count

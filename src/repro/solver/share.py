@@ -1,0 +1,136 @@
+"""Process-local portfolio clause exchange.
+
+Portfolio solving wins when workers attacking the same formula trade
+short learned clauses.  :class:`ClauseExchange` is the meeting point:
+solvers built over an *identical deterministic prefix* (same netlist
+slice, same unrolling depth, same variable numbering) publish their
+exportable learned clauses (see
+:meth:`~repro.solver.sat.SatSolver.mark_share_prefix`) under a **share
+key** naming that prefix, and peers with the same key import them behind
+an activation guard (:meth:`~repro.solver.sat.SatSolver.import_shared`).
+
+The exchange is process-local; the engine scheduler bridges processes by
+shipping :meth:`harvest` payloads back in worker reports and seeding
+future dispatches with :meth:`absorb` -- the "worker channel" of the
+portfolio.  Keys embed the prefix variable count, so two builds that
+diverged for any reason (different property history, different slice)
+get distinct keys and can never exchange unsound clauses.
+
+Soundness: an exported clause mentions only prefix variables and is
+implied by the prefix formula alone (post-prefix property constraints
+are activation-guarded, property targets are definitional extensions),
+so it is a valid lemma for every peer with the same prefix; the
+activation guard additionally keeps every import retractable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..obs.metrics import REGISTRY
+
+__all__ = ["ClauseExchange", "EXCHANGE"]
+
+Clause = Tuple[int, ...]
+
+_PUBLISHED = REGISTRY.counter(
+    "repro_solver_share_pool_clauses_total",
+    "clauses entering the process-local exchange, by origin",
+)
+
+# per-key ceiling: the exchange holds short, high-value lemmas, not a
+# mirror of every peer's learned database
+_POOL_CAP_PER_KEY = 4096
+
+
+class ClauseExchange:
+    """Keyed pools of shareable learned clauses (see module docstring)."""
+
+    def __init__(self):
+        self._pools: Dict[str, List[Clause]] = {}
+        self._seen: Dict[str, Set[Clause]] = {}
+        self._harvest_mark: Dict[str, int] = {}
+
+    # -------------------------------------------------------------- publish
+    def publish(self, key: str, clauses: Iterable[Sequence[int]]) -> int:
+        """Add locally learned clauses to ``key``'s pool; returns count."""
+        return self._add(key, clauses, origin="local")
+
+    def absorb(self, payload: Dict[str, List[Sequence[int]]]) -> int:
+        """Merge a wire payload (a peer's :meth:`harvest`); returns count.
+
+        Absorbed clauses are placed *before* the harvest mark so they are
+        never echoed back out of this process's next harvest.
+        """
+        added = 0
+        for key, clauses in payload.items():
+            count = self._add(key, clauses, origin="absorbed")
+            if count:
+                # re-point the harvest cursor past the absorbed suffix:
+                # only clauses this process's own solvers publish later
+                # should travel back over the wire
+                mark = self._harvest_mark.get(key, 0)
+                pool = self._pools[key]
+                tail = pool[mark:]
+                absorbed = set(map(tuple, clauses))
+                kept = [c for c in tail if c not in absorbed]
+                pool[mark:] = [c for c in tail if c in absorbed] + kept
+                self._harvest_mark[key] = len(pool) - len(kept)
+            added += count
+        return added
+
+    def _add(self, key: str, clauses: Iterable[Sequence[int]], origin: str) -> int:
+        pool = self._pools.setdefault(key, [])
+        seen = self._seen.setdefault(key, set())
+        added = 0
+        for clause in clauses:
+            if len(pool) >= _POOL_CAP_PER_KEY:
+                break
+            canon = tuple(sorted(clause))
+            if canon in seen:
+                continue
+            seen.add(canon)
+            pool.append(canon)
+            added += 1
+        if added:
+            _PUBLISHED.inc(added, origin=origin)
+        return added
+
+    # --------------------------------------------------------------- consume
+    def snapshot(self, key: str, start: int = 0) -> List[Clause]:
+        """Clauses published under ``key`` from index ``start`` on.
+
+        Callers keep their own cursor (the returned list's end index is
+        ``start + len(result)``) so repeated pulls import each clause at
+        most once.
+        """
+        pool = self._pools.get(key)
+        if not pool:
+            return []
+        return pool[start:]
+
+    def harvest(self) -> Dict[str, List[Clause]]:
+        """Drain every pool's new-since-last-harvest suffix.
+
+        The worker channel: a worker calls this after draining a job
+        batch and ships the payload home in its report; the scheduler
+        :meth:`absorb`\\ s it and seeds later dispatches.
+        """
+        out: Dict[str, List[Clause]] = {}
+        for key, pool in self._pools.items():
+            mark = self._harvest_mark.get(key, 0)
+            if mark < len(pool):
+                out[key] = pool[mark:]
+                self._harvest_mark[key] = len(pool)
+        return out
+
+    def reset(self) -> None:
+        """Drop all pools (test isolation)."""
+        self._pools.clear()
+        self._seen.clear()
+        self._harvest_mark.clear()
+
+
+# one exchange per process: solvers in this process meet here, the
+# scheduler's seed/harvest payloads bridge to other processes
+EXCHANGE = ClauseExchange()

@@ -319,3 +319,86 @@ def test_random_3sat_matches_brute_force(seed, num_vars, num_clauses):
     if verdict == SAT:
         for c in clauses:
             assert any(s.model_value(abs(l)) == (l > 0) for l in c)
+
+
+class TestWatchInvariant:
+    """The two-watched-literal layout must hold through every build path.
+
+    ``check_watch_invariant()`` cross-checks the flat array watch lists
+    (watched literal in ``clause[:2]``, no binary clauses there) and the
+    dedicated binary lists (clause really binary, blocker is the other
+    literal) against the clause database.  The fused gate emitters write
+    watch entries directly instead of going through ``add_clause``, so
+    each emission path gets its own coverage here.
+    """
+
+    def test_fused_and_gate_emission(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        out = s.new_and_gate(a, b)
+        assert s.check_watch_invariant()
+        assert s.solve(assumptions=[out]) == SAT
+        assert s.model_value(a) and s.model_value(b)
+        assert s.check_watch_invariant()
+
+    def test_fused_xor_gate_emission(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        out = s.new_xor_gate(a, b)
+        assert s.check_watch_invariant()
+        assert s.solve(assumptions=[out, a]) == SAT
+        assert not s.model_value(b)
+        assert s.check_watch_invariant()
+
+    def test_binary_and_long_clause_mix(self):
+        s = SatSolver()
+        for _ in range(6):
+            s.new_var()
+        s.add_clause([1, 2])          # binary list path
+        s.add_clause([-1, 3, 4])      # main watch list path
+        s.add_clause([2, -3, 5, -6])
+        s.add_clause([-2, -5])
+        assert s.check_watch_invariant()
+        assert s.solve() == SAT
+        assert s.check_watch_invariant()
+
+    def test_invariant_survives_search_and_learning(self):
+        # pigeonhole 4-into-3 forces real conflict analysis: learned
+        # clauses (binary and longer) must land in the right lists
+        s = SatSolver()
+        p = [[s.new_var() for _ in range(3)] for _ in range(4)]
+        for row in p:
+            s.add_clause(row)
+        for h in range(3):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    s.add_clause([-p[i][h], -p[j][h]])
+        assert s.solve() == UNSAT
+        assert s.check_watch_invariant()
+
+    def test_invariant_after_preprocessing_rebuild(self):
+        s = SatSolver(preprocess=True)
+        for _ in range(8):
+            s.new_var()
+        s.add_clause([1, 2, 3])
+        s.add_clause([1, 2, 3, 4])    # subsumed
+        s.add_clause([-1, 5])
+        s.add_clause([-1, 5])         # duplicate
+        s.add_clause([6, 7, -8])
+        assert s.solve() == SAT       # preprocessing rebuilds the watches
+        assert s.check_watch_invariant()
+
+    def test_asymmetric_corruption_is_detected(self):
+        # the invariant checker itself must notice a one-sided watch:
+        # drop one entry from a main watch list and expect False
+        s = SatSolver()
+        for _ in range(4):
+            s.new_var()
+        s.add_clause([1, 2, 3])
+        s.add_clause([-2, 3, 4])
+        assert s.check_watch_invariant()
+        for lst in s._watches:
+            if lst:
+                del lst[-2:]  # entries are (clause, blocker) pairs
+                break
+        assert not s.check_watch_invariant()
