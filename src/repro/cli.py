@@ -273,6 +273,9 @@ def cmd_synth_all(args):
             coi=not args.no_coi,
             preprocess=not args.no_preprocess,
             clause_sharing=not args.no_clause_sharing,
+            certify=args.certify,
+            certify_proof_limit=args.certify_proof_limit,
+            certify_time_budget=args.certify_time_budget,
         ),
     )
     engine_config = EngineConfig(
@@ -390,6 +393,15 @@ def cmd_synth_all(args):
     print(manifest.summary())
     if not manifest.reconciles(tool.stats):
         print("WARNING: telemetry manifest does not reconcile with stats")
+        return 1
+    if manifest.cert_uncaught:
+        # the campaign completed, but some verdict's certificate failed
+        # and the conservative re-solve could not vouch for it either --
+        # that verdict is untrusted, so the run must not exit clean
+        print(
+            "WARNING: %d uncaught certification failure(s) -- the affected "
+            "verdicts are untrusted" % manifest.cert_uncaught
+        )
         return 1
     return 1 if failed else 0
 
@@ -535,6 +547,33 @@ def cmd_cache_info(args):
     if not os.path.isdir(args.dir):
         print("error: %s is not a directory" % args.dir)
         return 2
+    if args.verify:
+        # deep walk: re-parse every entry, re-derive its byte checksum
+        # and its certificate digest, and quarantine what fails --
+        # checksums prove the bytes are intact, certificate digests prove
+        # the payload is the one that was checked
+        report = ProofCache(args.dir).verify_store()
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                "verified %d entr%s: %d ok, %d with certificates, "
+                "%d quarantined"
+                % (
+                    report["checked"],
+                    "y" if report["checked"] == 1 else "ies",
+                    report["ok"],
+                    report["with_certificates"],
+                    report["quarantined"],
+                )
+            )
+            if report["stale_format"]:
+                print("  stale format:  %d" % report["stale_format"])
+            for reason, count in sorted(
+                report["quarantined_by_reason"].items()
+            ):
+                print("  %-14s %d" % (reason + ":", count))
+        return 1 if report["quarantined"] else 0
     if args.json:
         # the JSON view adds per-node provenance rows (entries tagged by
         # the worker node that produced them); the text view keeps the
@@ -744,6 +783,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-clause-sharing", action="store_true",
                    help="disable the portfolio learned-clause exchange "
                         "between workers; the verdicts must not change")
+    p.add_argument("--certify", choices=("off", "spot", "full"),
+                   default="off",
+                   help="verdict certification (repro.cert): 'spot' logs "
+                        "proofs and checks a sample (witness replays always "
+                        "run); 'full' checks every certificate; failures "
+                        "quarantine the result and re-solve it on the "
+                        "conservative path")
+    p.add_argument("--certify-proof-limit", type=int, default=200000,
+                   metavar="N",
+                   help="max DRAT proof entries per leg a single check "
+                        "will attempt (larger proofs are skipped as "
+                        "'budget', never failed; default 200000)")
+    p.add_argument("--certify-time-budget", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="wall-clock budget per DRAT certificate check "
+                        "(default 10.0)")
     p.add_argument("--broker", default=None, metavar="HOST:PORT",
                    help="dispatch jobs through a campaign broker (see "
                         "'repro broker' / 'repro worker'); verdicts are "
@@ -833,6 +888,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dir", metavar="DIR", help="proof-cache directory")
     p.add_argument("--json", action="store_true",
                    help="emit the summary as JSON")
+    p.add_argument("--verify", action="store_true",
+                   help="deep-verify every entry (byte checksums and "
+                        "certificate digests), quarantining failures; "
+                        "exit 1 if anything was quarantined")
     p.set_defaults(func=cmd_cache_info)
 
     p = sub.add_parser(

@@ -65,6 +65,21 @@ class Rtl2MuPathConfig:
     coi: bool = True  # cone-of-influence slicing before bit-blasting
     preprocess: bool = True  # CNF preprocessing before the first solve
     clause_sharing: bool = True  # portfolio learned-clause exchange
+    # verdict certification (repro.cert): "off" | "spot" | "full".  These
+    # knobs are excluded from proof-cache keys -- certification changes
+    # how much a verdict is *checked*, never what the verdict is
+    certify: str = "off"
+    certify_proof_limit: int = 200_000
+    certify_time_budget: float = 10.0
+
+    def certify_policy(self):
+        from ..cert import CertifyPolicy
+
+        return CertifyPolicy.from_mode(
+            self.certify,
+            proof_limit=self.certify_proof_limit,
+            time_budget=self.certify_time_budget,
+        )
 
 
 @dataclass
@@ -130,6 +145,82 @@ def _merge_run_lengths(target: Dict[str, Set[int]], path: CycleAccuratePath):
         target.setdefault(pl, set()).update(path.run_lengths(pl))
 
 
+class _CoverCertifier:
+    """Replay-checks enumerative cover witnesses (DESIGN SS5j).
+
+    A REACHABLE cover verdict from the synthesis phase is witnessed by
+    one concrete simulated uPATH.  The check re-drives the witnessing
+    context through a *fresh* simulator, re-extracts the path, and
+    re-evaluates the cover predicate on the replayed path -- independent
+    of the TraceDB rows and VisitIndex the verdict was read from, so a
+    corrupted index cannot vouch for itself.  Replays are memoized per
+    (tracedb, context): witnesses are always the *first* matching path,
+    so they concentrate on the family's early contexts and even
+    ``--certify full`` re-simulates only a handful of contexts per IUV.
+    """
+
+    def __init__(self, netlist, pls, policy):
+        self.netlist = netlist
+        self.pls = pls
+        self.policy = policy
+        # witness path -> (tracedb, context index, iuv pc); equal paths
+        # share an entry -- any context reproducing those visits serves
+        self._src: Dict[CycleAccuratePath, Tuple] = {}
+        self._replays: Dict[Tuple, CycleAccuratePath] = {}
+
+    def add_index(self, tracedb: TraceDB, index: "VisitIndex") -> None:
+        for idx, path in enumerate(index.paths):
+            self._src.setdefault(path, (tracedb, idx, index.iuv_pc))
+
+    def _replayed(self, db: TraceDB, idx: int, iuv_pc: int) -> CycleAccuratePath:
+        key = (id(db), idx, iuv_pc)
+        replayed = self._replays.get(key)
+        if replayed is None:
+            from ..mc.enumerative import simulate_context
+            from ..props.views import ConcreteTraceView
+            from ..sim.simulator import Simulator
+
+            sim = Simulator(self.netlist)
+            rows = simulate_context(sim, db.contexts[idx])
+            view = ConcreteTraceView(rows, names=sim.observable_names)
+            replayed = extract_path(view, self.pls, iuv_pc)
+            self._replays[key] = replayed
+        return replayed
+
+    def certify(self, name, witness, pred) -> Optional[dict]:
+        """Certificate for the cover named ``name``, or None when skipped.
+
+        ``witness`` is the first path satisfying the cover (None for
+        UNREACHABLE/UNDETERMINED verdicts, which have no finite witness
+        to replay).  Spot mode samples covers by name like DRAT checks
+        -- unlike SAT-model witnesses, a cover replay costs a full
+        context re-simulation, so it is not unconditionally cheap.
+        """
+        policy = self.policy
+        if witness is None or not policy.enabled:
+            return None
+        if not policy.should_check_proof(name):
+            return None
+        src = self._src.get(witness)
+        if src is None:
+            return None
+        db, idx, iuv_pc = src
+        from ..cert import cover_witness_certificate
+
+        payload = {
+            "iuv": witness.iuv,
+            "context_index": idx,
+            "context": getattr(db.contexts[idx], "label", ""),
+            "visits": [sorted(cycle) for cycle in witness.visits],
+        }
+
+        def replay() -> bool:
+            replayed = self._replayed(db, idx, iuv_pc)
+            return replayed.visits == witness.visits and bool(pred(replayed))
+
+        return cover_witness_certificate(name, payload, replay, policy)
+
+
 class Rtl2MuPath:
     """The synthesis tool.
 
@@ -165,12 +256,14 @@ class Rtl2MuPath:
                 share_namespace=(
                     "local" if self.config.clause_sharing else None
                 ),
+                certify=self.config.certify_policy(),
             )
         return self._induction_pool
 
     # ------------------------------------------------------------ accounting
     def _record(self, name: str, outcome: str, started: float, detail: str = "",
-                engine="enumerative-indexed", depth=None, solver=None):
+                engine="enumerative-indexed", depth=None, solver=None,
+                certificate=None):
         from ..faults import injection_point
 
         injection_point("solver.check", query=name)
@@ -184,6 +277,7 @@ class Rtl2MuPath:
                 detail=detail,
                 depth=depth,
                 solver=solver,
+                certificate=certificate,
             )
         )
         obs.note_property(outcome, elapsed)
@@ -248,6 +342,7 @@ class Rtl2MuPath:
                             conflict_budget=self.config.induction_conflict_budget,
                             pool=self._pool(),
                             preprocess=self.config.preprocess,
+                            certify=self.config.certify_policy(),
                         )
                         self._record(
                             "duvpl_reach_%s" % pl_name,
@@ -257,6 +352,7 @@ class Rtl2MuPath:
                             engine="k-induction",
                             depth=result.depth,
                             solver=result.solver,
+                            certificate=result.certificate,
                         )
                         if result.outcome == REACHABLE:
                             reachable.add(pl_name)
@@ -283,12 +379,16 @@ class Rtl2MuPath:
         cfg = self.config
         with obs.span("phase.elaborate"):
             groups = self.provider.mupath_groups(iuv_name)
+            certifier = _CoverCertifier(
+                self.netlist, self.metadata.pls, cfg.certify_policy()
+            )
             indexes: List[VisitIndex] = []
             truncated = False
             for group in groups:
                 db = TraceDB(self.netlist, group.contexts, group.complete)
                 index = VisitIndex(db, self.metadata, group.iuv_pc)
                 indexes.append(index)
+                certifier.add_index(db, index)
                 truncated = truncated or not group.complete
             all_paths = [path for index in indexes for path in index.paths]
         complete = not truncated
@@ -299,10 +399,15 @@ class Rtl2MuPath:
             iuv_pls: Set[str] = set()
             for pl_name in sorted(duv_pls & set(self.metadata.pls)):
                 started = time.perf_counter()
-                hit = any(pl_name in path.pl_set for path in all_paths)
-                outcome = self._cover_outcome(hit, complete)
-                self._record("iuvpl_%s_%s" % (iuv_name, pl_name), outcome, started)
-                if hit:
+                pred = lambda p, pl=pl_name: pl in p.pl_set
+                witness = next((p for p in all_paths if pred(p)), None)
+                outcome = self._cover_outcome(witness is not None, complete)
+                name = "iuvpl_%s_%s" % (iuv_name, pl_name)
+                self._record(
+                    name, outcome, started,
+                    certificate=certifier.certify(name, witness, pred),
+                )
+                if witness is not None:
                     iuv_pls.add(pl_name)
             iuv_pl_list = sorted(iuv_pls)
 
@@ -315,23 +420,32 @@ class Rtl2MuPath:
                         continue
                     started = time.perf_counter()
                     # cover(!pl0_visited & pl1_visited): unreachable => dominates
-                    hit = any(
-                        pl1 in path.pl_set and pl0 not in path.pl_set
-                        for path in all_paths
+                    pred = lambda p, a=pl0, b=pl1: (
+                        b in p.pl_set and a not in p.pl_set
                     )
-                    outcome = self._cover_outcome(hit, complete)
-                    self._record("dom_%s_%s_%s" % (iuv_name, pl0, pl1), outcome, started)
+                    witness = next((p for p in all_paths if pred(p)), None)
+                    outcome = self._cover_outcome(witness is not None, complete)
+                    name = "dom_%s_%s_%s" % (iuv_name, pl0, pl1)
+                    self._record(
+                        name, outcome, started,
+                        certificate=certifier.certify(name, witness, pred),
+                    )
                     if self._resolve(outcome) == UNREACHABLE:
                         dominates.add((pl0, pl1))
             exclusive: Set[FrozenSet[str]] = set()
             for i, pl0 in enumerate(iuv_pl_list):
                 for pl1 in iuv_pl_list[i + 1 :]:
                     started = time.perf_counter()
-                    hit = any(
-                        pl0 in path.pl_set and pl1 in path.pl_set for path in all_paths
+                    pred = lambda p, a=pl0, b=pl1: (
+                        a in p.pl_set and b in p.pl_set
                     )
-                    outcome = self._cover_outcome(hit, complete)
-                    self._record("excl_%s_%s_%s" % (iuv_name, pl0, pl1), outcome, started)
+                    witness = next((p for p in all_paths if pred(p)), None)
+                    outcome = self._cover_outcome(witness is not None, complete)
+                    name = "excl_%s_%s_%s" % (iuv_name, pl0, pl1)
+                    self._record(
+                        name, outcome, started,
+                        certificate=certifier.certify(name, witness, pred),
+                    )
                     if self._resolve(outcome) == UNREACHABLE:
                         exclusive.add(frozenset((pl0, pl1)))
 
@@ -343,13 +457,22 @@ class Rtl2MuPath:
                 observed.update(index.observed_sets())
             observed.pop(frozenset(), None)
 
+            witness_by_set: Dict[FrozenSet[str], CycleAccuratePath] = {}
+            for path in all_paths:
+                witness_by_set.setdefault(path.pl_set, path)
             reachable_sets: List[FrozenSet[str]] = []
             for cand in candidates:
                 started = time.perf_counter()
                 hit = cand in observed
                 outcome = self._cover_outcome(hit, complete)
+                name = "plset_%s_{%s}" % (iuv_name, ",".join(sorted(cand)))
                 self._record(
-                    "plset_%s_{%s}" % (iuv_name, ",".join(sorted(cand))), outcome, started
+                    name, outcome, started,
+                    certificate=certifier.certify(
+                        name,
+                        witness_by_set.get(cand) if hit else None,
+                        lambda p, c=cand: p.pl_set == c,
+                    ),
                 )
                 if hit:
                     reachable_sets.append(cand)
@@ -373,20 +496,32 @@ class Rtl2MuPath:
                 run_lengths: Dict[str, FrozenSet[int]] = {}
                 for pl in sorted(pl_set):
                     started = time.perf_counter()
-                    consec = any(p.revisit_kind(pl) in ("consecutive", "both") for p in set_paths)
+                    pred_c = lambda p, pl=pl: p.revisit_kind(pl) in (
+                        "consecutive", "both"
+                    )
+                    consec_w = next((p for p in set_paths if pred_c(p)), None)
+                    consec = consec_w is not None
+                    name = "revisit_c_%s_%s" % (iuv_name, pl)
                     self._record(
-                        "revisit_c_%s_%s" % (iuv_name, pl),
+                        name,
                         self._cover_outcome(consec, complete),
                         started,
+                        certificate=certifier.certify(name, consec_w, pred_c),
                     )
                     started = time.perf_counter()
-                    nonconsec = any(
-                        p.revisit_kind(pl) in ("nonconsecutive", "both") for p in set_paths
+                    pred_n = lambda p, pl=pl: p.revisit_kind(pl) in (
+                        "nonconsecutive", "both"
                     )
+                    nonconsec_w = next(
+                        (p for p in set_paths if pred_n(p)), None
+                    )
+                    nonconsec = nonconsec_w is not None
+                    name = "revisit_n_%s_%s" % (iuv_name, pl)
                     self._record(
-                        "revisit_n_%s_%s" % (iuv_name, pl),
+                        name,
                         self._cover_outcome(nonconsec, complete),
                         started,
+                        certificate=certifier.certify(name, nonconsec_w, pred_n),
                     )
                     if consec and nonconsec:
                         revisit[pl] = "both"
@@ -402,10 +537,20 @@ class Rtl2MuPath:
                             lengths.update(p.run_lengths(pl))
                         for length in sorted(lengths):
                             started = time.perf_counter()
+                            pred_l = lambda p, pl=pl, n=length: (
+                                n in p.run_lengths(pl)
+                            )
+                            length_w = next(
+                                (p for p in set_paths if pred_l(p)), None
+                            )
+                            name = "runlen_%s_%s_%d" % (iuv_name, pl, length)
                             self._record(
-                                "runlen_%s_%s_%d" % (iuv_name, pl, length),
+                                name,
                                 REACHABLE,
                                 started,
+                                certificate=certifier.certify(
+                                    name, length_w, pred_l
+                                ),
                             )
                         run_lengths[pl] = frozenset(lengths)
                         global_run_lengths.setdefault(pl, set()).update(lengths)
@@ -416,14 +561,21 @@ class Rtl2MuPath:
                         if pl1 not in conn.get(pl0, ()):
                             continue  # not combinationally connected: no candidate
                         started = time.perf_counter()
-                        hit = any(
-                            self._has_edge(p, pl0, pl1) for p in set_paths
+                        pred_e = lambda p, a=pl0, b=pl1: self._has_edge(
+                            p, a, b
                         )
-                        outcome = self._cover_outcome(hit, complete)
+                        edge_w = next(
+                            (p for p in set_paths if pred_e(p)), None
+                        )
+                        outcome = self._cover_outcome(
+                            edge_w is not None, complete
+                        )
+                        name = "hbedge_%s_%s_%s" % (iuv_name, pl0, pl1)
                         self._record(
-                            "hbedge_%s_%s_%s" % (iuv_name, pl0, pl1), outcome, started
+                            name, outcome, started,
+                            certificate=certifier.certify(name, edge_w, pred_e),
                         )
-                        if hit:
+                        if edge_w is not None:
                             hb_edges.add((pl0, pl1))
 
                 upaths.append(

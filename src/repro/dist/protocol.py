@@ -226,18 +226,62 @@ def decode_job(wire: Dict[str, Any]) -> Any:
 
 
 # ------------------------------------------------------------------ reports
+#: headroom reserved for the result frame's envelope around the report
+#: (type / tag / job_id) when deciding whether certificates must degrade
+_FRAME_MARGIN = 64 * 1024
+
+
+def _wire_bytes(wire: Dict[str, Any]) -> int:
+    try:
+        return len(
+            json.dumps(wire, sort_keys=True, separators=(",", ":"))
+        ) + 1
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("unencodable report: %s" % exc) from None
+
+
+def _fit_certificates(wire: Dict[str, Any], limit: int) -> None:
+    """Degrade certificate payloads until the report fits under ``limit``.
+
+    A verdict whose proof log outgrew the frame cap must not kill the
+    connection -- the report degrades to digest-only bundles (largest
+    payload first; the digest still pins the checked bytes) and only the
+    proof *transport* is lost, never the verdict or its check status.
+    Result dicts are copied before stripping so the worker's in-memory
+    CheckResults keep their full bundles.
+    """
+    from ..cert import canonical_payload_bytes, strip_payload
+
+    if _wire_bytes(wire) <= limit:
+        return
+    results = wire.get("results") or []
+    sized = []
+    for index, result in enumerate(results):
+        cert = result.get("certificate") if isinstance(result, dict) else None
+        if isinstance(cert, dict) and cert.get("payload") is not None:
+            sized.append((len(canonical_payload_bytes(cert["payload"])), index))
+    for _size, index in sorted(sized, reverse=True):
+        stripped = dict(results[index])
+        stripped["certificate"] = strip_payload(stripped["certificate"])
+        results[index] = stripped
+        if _wire_bytes(wire) <= limit:
+            return
+
+
 def report_to_wire(report, job) -> Dict[str, Any]:
     """WorkerReport -> JSON-safe dict (worker side).
 
     The value payload uses the job's own codec -- the same one the proof
     cache stores -- and CheckResults their to_dict form, so the client
-    rebuilds exactly what a local worker would have handed back.
+    rebuilds exactly what a local worker would have handed back.  Reports
+    whose certificate payloads would overflow the frame cap degrade those
+    bundles to digest-only (see :func:`_fit_certificates`).
     """
     payload = None
     if report.error is None:
         encode = getattr(job, "encode_value", None)
         payload = encode(report.value) if encode else report.value
-    return {
+    wire = {
         "job_id": report.job_id,
         "error": report.error,
         "quarantined": bool(report.quarantined),
@@ -247,6 +291,43 @@ def report_to_wire(report, job) -> Dict[str, Any]:
         "spans": [[kind, fields] for kind, fields in report.spans],
         "node": getattr(report, "node_id", None),
     }
+    cert_failures = int(getattr(report, "cert_failures", 0) or 0)
+    cert_degraded = bool(getattr(report, "cert_degraded", False))
+    cert_divergences = list(getattr(report, "cert_divergences", ()) or ())
+    cert_uncaught = int(getattr(report, "cert_uncaught", 0) or 0)
+    if cert_failures or cert_degraded or cert_divergences or cert_uncaught:
+        wire["cert_failures"] = cert_failures
+        wire["cert_degraded"] = cert_degraded
+        wire["cert_divergences"] = cert_divergences
+        wire["cert_uncaught"] = cert_uncaught
+    _fit_certificates(wire, MAX_FRAME_BYTES - _FRAME_MARGIN)
+    return wire
+
+
+def _spot_check_certificates(results) -> int:
+    """Verify arrived certificate digests; demote corrupted ones to failed.
+
+    Broker-received reports are spot-checkable on arrival: the digest in
+    every bundle pins the payload bytes that were checked worker-side, so
+    a bundle corrupted in flight (or by a hostile peer) is detectable
+    without re-running the proof.  A mismatch marks that certificate
+    failed rather than raising -- the verdict still folds, and the
+    client's manifest accounting surfaces the failure.
+    """
+    from ..cert import verify_certificate_digest
+
+    demoted = 0
+    for result in results:
+        cert = getattr(result, "certificate", None)
+        if isinstance(cert, dict) and not verify_certificate_digest(cert):
+            result.certificate = dict(
+                cert,
+                status="failed",
+                verified=False,
+                detail="wire digest mismatch",
+            )
+            demoted += 1
+    return demoted
 
 
 def report_from_wire(wire: Dict[str, Any], job) -> Any:
@@ -273,6 +354,7 @@ def report_from_wire(wire: Dict[str, Any], job) -> Any:
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError("malformed wire report: %s" % exc) from None
     node = wire.get("node")
+    demoted = _spot_check_certificates(results)
     return WorkerReport(
         job_id=wire.get("job_id") or job.job_id,
         value=value,
@@ -282,6 +364,14 @@ def report_from_wire(wire: Dict[str, Any], job) -> Any:
         quarantined=bool(wire.get("quarantined")),
         spans=spans,
         node_id=node if isinstance(node, str) else None,
+        # cert accounting travels only when nonzero; reports from pre-cert
+        # workers decode with the zero defaults.  An arrival-time digest
+        # mismatch counts as a failure the worker could not have degraded
+        # (it happened after the solve), hence uncaught.
+        cert_failures=int(wire.get("cert_failures") or 0) + demoted,
+        cert_degraded=bool(wire.get("cert_degraded")),
+        cert_divergences=list(wire.get("cert_divergences") or []),
+        cert_uncaught=int(wire.get("cert_uncaught") or 0) + demoted,
     )
 
 

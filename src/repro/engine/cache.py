@@ -215,9 +215,102 @@ class ProofCache:
         if entry.get("checksum") != entry_checksum(entry):
             self._quarantine(path, reason="checksum_mismatch")
             return None
+        reason = self._certificate_problem(entry)
+        if reason is not None:
+            # the bytes are intact (checksum passed) but a carried
+            # certificate is corrupt or refuted: the verdict cannot be
+            # replayed as proven
+            self._quarantine(path, reason=reason)
+            return None
         if not entry.get("final"):
             return None
         return entry
+
+    @staticmethod
+    def _certificate_problem(entry: Dict[str, Any]) -> Optional[str]:
+        """Why the entry's certificates forbid replaying it, or None.
+
+        The checksum proves the *bytes* are the bytes that were written;
+        a certificate digest proves the *payload* is the payload that
+        was checked, and ``verified: false`` means that check refuted
+        the verdict.  Entries without certificates (pre-certification
+        writes, certify-off runs) are fine -- ``certificate`` is simply
+        absent and the entry stays a valid hit.
+        """
+        from ..cert import verify_certificate_digest
+
+        for result in entry.get("results") or []:
+            if not isinstance(result, dict):
+                continue
+            cert = result.get("certificate")
+            if cert is None:
+                continue
+            if not isinstance(cert, dict) or not verify_certificate_digest(cert):
+                return "certificate_mismatch"
+            if cert.get("verified") is False:
+                return "certificate_failed"
+        return None
+
+    def verify_store(self) -> Dict[str, Any]:
+        """Re-verify every stored entry (``repro cache-info --verify``).
+
+        Walks the store re-running the full read-side validation --
+        JSON parse, entry checksum, certificate digests and verdicts --
+        quarantining every entry that fails, and returns a summary:
+        entries checked / ok / quarantined (with per-reason counts),
+        plus how many carried certificates at all.
+        """
+        checked = ok = stale = with_certs = 0
+        quarantined: Dict[str, int] = {}
+
+        def _bad(path: str, reason: str) -> None:
+            self._quarantine(path, reason)
+            quarantined[reason] = quarantined.get(reason, 0) + 1
+
+        for dirpath, dirnames, filenames in os.walk(self.cache_dir):
+            if self.QUARANTINE_DIR in dirnames:
+                dirnames.remove(self.QUARANTINE_DIR)
+            for name in sorted(filenames):
+                if not name.endswith(".json") or name.startswith(".tmp-"):
+                    continue
+                path = os.path.join(dirpath, name)
+                checked += 1
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        entry = json.load(handle)
+                except OSError:
+                    checked -= 1
+                    continue
+                except ValueError:
+                    _bad(path, "unparseable")
+                    continue
+                if not isinstance(entry, dict):
+                    _bad(path, "unparseable")
+                    continue
+                if entry.get("format") != CACHE_FORMAT_VERSION:
+                    stale += 1  # old format: a miss, not damage
+                    continue
+                if entry.get("checksum") != entry_checksum(entry):
+                    _bad(path, "checksum_mismatch")
+                    continue
+                reason = self._certificate_problem(entry)
+                if reason is not None:
+                    _bad(path, reason)
+                    continue
+                if any(
+                    isinstance(r, dict) and r.get("certificate") is not None
+                    for r in entry.get("results") or []
+                ):
+                    with_certs += 1
+                ok += 1
+        return {
+            "checked": checked,
+            "ok": ok,
+            "stale_format": stale,
+            "with_certificates": with_certs,
+            "quarantined": sum(quarantined.values()),
+            "quarantined_by_reason": dict(sorted(quarantined.items())),
+        }
 
     def put(
         self,

@@ -201,6 +201,13 @@ class WorkerReport:
     # by share-prefix key (see repro.solver.share); empty off the last
     # report of a batch or when sharing is disabled
     shared_clauses: Dict[str, List] = field(default_factory=dict)
+    # ---- verdict certification (repro.cert, DESIGN SS5j) ----
+    cert_failures: int = 0  # certificates that failed verification
+    cert_degraded: bool = False  # conservative re-solve was performed
+    # per-query verdict drift between the quarantined attempt and its
+    # conservative re-solve: [{"query", "original", "conservative"}]
+    cert_divergences: List = field(default_factory=list)
+    cert_uncaught: int = 0  # failures surviving into the final results
 
 
 @dataclass
@@ -551,7 +558,136 @@ def _attempt_loop(
     if best is None:
         report.error = last_error or "job produced no result"
         return
+    best = _certify_degrade(
+        job, report, best, best_range, collector,
+        timeout_seconds=timeout_seconds, max_rss_mb=max_rss_mb,
+    )
     report.value, report.results = best
+
+
+def _dump_cert_artifacts(job_id: str, results) -> None:
+    """Write failing certificate bundles to ``$REPRO_CERT_ARTIFACTS``.
+
+    Best-effort post-mortem evidence (CI uploads the directory); never
+    allowed to fail the run.
+    """
+    out_dir = os.environ.get("REPRO_CERT_ARTIFACTS")
+    if not out_dir:
+        return
+    try:
+        import json
+
+        from ..cert import certificate_failed
+
+        os.makedirs(out_dir, exist_ok=True)
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in job_id)
+        bundle = {
+            "job_id": job_id,
+            "failures": [
+                {
+                    "query": r.query_name,
+                    "outcome": r.outcome,
+                    "engine": r.engine,
+                    "certificate": r.certificate,
+                }
+                for r in results
+                if certificate_failed(r)
+            ],
+        }
+        path = os.path.join(out_dir, "cert-failure-%s.json" % safe)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, indent=2, sort_keys=True)
+    except Exception:
+        pass
+
+
+def _certify_degrade(
+    job, report, best, best_range, collector,
+    timeout_seconds=None, max_rss_mb=None,
+):
+    """The certification rung of the retry ladder (DESIGN SS5j).
+
+    When the winning attempt's results carry *failed* certificates, the
+    verdicts cannot be trusted as-is -- but a campaign must not abort on
+    them either.  The job re-solves once on its conservative recipe
+    (``job.conservative()``: no preprocessing, no clause sharing, fresh
+    non-incremental contexts), under the same deadline/RSS guards; the
+    quarantined attempt's results are superseded (and their span
+    accounting scrubbed), and any verdict drift between the two solves
+    is recorded on the report for the manifest.  Jobs without a
+    conservative recipe, or a conservative re-solve that itself fails,
+    keep the original results with ``cert_uncaught`` set -- surfaced,
+    never silently dropped.
+    """
+    from ..cert import certificate_failed, failed_certificates
+
+    value, results = best
+    failed = failed_certificates(results)
+    if not failed:
+        return best
+    report.cert_failures = len(failed)
+    _dump_cert_artifacts(job.job_id, results)
+    conservative = getattr(job, "conservative", None)
+    fallback = conservative() if callable(conservative) else None
+    if fallback is None:
+        report.cert_uncaught = len(failed)
+        return best
+    attempt = len(report.attempts)
+    started = time.perf_counter()
+    rss_trip: List[float] = []
+    mark = len(collector.records) if collector is not None else 0
+    try:
+        with obs.span(
+            "job.attempt", job=job.job_id, attempt=attempt, conservative=True
+        ):
+            with _rss_guard(max_rss_mb, rss_trip), _deadline(timeout_seconds):
+                new_value, new_results = fallback.execute()
+    except (Exception, KeyboardInterrupt) as exc:
+        if isinstance(exc, KeyboardInterrupt) and not rss_trip:
+            raise
+        report.attempts.append(
+            AttemptRecord(
+                attempt=attempt,
+                seconds=time.perf_counter() - started,
+                error="conservative re-solve failed: %s"
+                % (str(exc) or type(exc).__name__),
+            )
+        )
+        _scrub_span_accounting(collector, mark)
+        report.cert_uncaught = len(failed)
+        return best
+    report.attempts.append(
+        AttemptRecord(
+            attempt=attempt,
+            seconds=time.perf_counter() - started,
+            properties=len(new_results),
+            undetermined=sum(
+                1 for r in new_results if r.outcome == UNDETERMINED
+            ),
+        )
+    )
+    report.cert_degraded = True
+    # verdict drift between the quarantined solve and the trusted one
+    original = {r.query_name: r.outcome for r in results}
+    for r in new_results:
+        before = original.get(r.query_name)
+        if before is not None and before != r.outcome:
+            report.cert_divergences.append(
+                {
+                    "query": r.query_name,
+                    "original": before,
+                    "conservative": r.outcome,
+                }
+            )
+    # only one attempt's results reach the stats: scrub the superseded one
+    if best_range is not None:
+        _scrub_span_accounting(collector, best_range[0], best_range[1])
+    still_failed = sum(1 for r in new_results if certificate_failed(r))
+    report.cert_failures += still_failed
+    report.cert_uncaught = still_failed
+    if still_failed:
+        _dump_cert_artifacts(job.job_id + ".conservative", new_results)
+    return (new_value, new_results)
 
 
 class JobScheduler:
@@ -737,6 +873,8 @@ class JobScheduler:
     def _replay_hit(self, job, key, entry, stats, manifest, log, results_by_id):
         from ..mc.outcomes import CheckResult
 
+        from ..cert import checked_certificates
+
         value = job.decode_value(entry["payload"])
         replayed = [CheckResult.from_dict(d) for d in entry["results"]]
         if stats is not None:
@@ -745,6 +883,7 @@ class JobScheduler:
         manifest.jobs_cached += 1
         manifest.cache_hits += 1
         manifest.note_results(replayed, replayed=True)
+        manifest.cert_checked += checked_certificates(replayed)
         # replayed verdicts ran in an earlier run, so their checker time
         # appears on no span of this trace; the profile reads it from here
         log.event(
@@ -1042,6 +1181,30 @@ class JobScheduler:
                 stats.record(result)
         manifest.jobs_executed += 1
         manifest.note_results(report.results, replayed=False)
+        from ..cert import checked_certificates, note_uncaught
+
+        manifest.cert_checked += checked_certificates(report.results)
+        if report.cert_failures:
+            manifest.cert_failures += report.cert_failures
+            if report.cert_degraded:
+                manifest.cert_degraded_jobs += 1
+                log.event(
+                    "job_cert_degraded",
+                    job=report.job_id,
+                    failures=report.cert_failures,
+                    divergences=report.cert_divergences,
+                    **node_fields,
+                )
+            manifest.cert_divergences.extend(report.cert_divergences)
+            manifest.cert_uncaught += report.cert_uncaught
+            note_uncaught(report.cert_uncaught)
+            if report.cert_uncaught:
+                log.event(
+                    "job_cert_uncaught",
+                    job=report.job_id,
+                    uncaught=report.cert_uncaught,
+                    **node_fields,
+                )
         if report.node_id:
             manifest.note_node(report.node_id, report.results)
         histogram: Dict[str, int] = {}
@@ -1068,7 +1231,13 @@ class JobScheduler:
             )
         if cache is not None and key is not None:
             undetermined = histogram.get(UNDETERMINED, 0)
-            final = undetermined == 0 and job.value_is_final(report.value)
+            final = (
+                undetermined == 0
+                and job.value_is_final(report.value)
+                # a verdict whose certificate failed must never be
+                # replayed from the cache as if it were proven
+                and report.cert_uncaught == 0
+            )
             if final:
                 from .serialize import check_results_to_dicts
 

@@ -61,6 +61,21 @@ def _unparams(params: Params) -> Dict[str, Any]:
     return {key: value for key, value in params}
 
 
+def _cacheable_config(params: Params) -> Dict[str, Any]:
+    """Config dict for cache keys, minus the certification knobs.
+
+    Certification changes how much a verdict is *checked*, never what
+    the verdict is, so ``--certify`` must not fork the proof cache: a
+    certified run and an uncertified run of the same job share one
+    entry (and pre-certification entries keep matching).
+    """
+    return {
+        key: value
+        for key, value in params
+        if not key.startswith("certify")
+    }
+
+
 # --------------------------------------------------------------- design spec
 @dataclass(frozen=True)
 class DesignSpec:
@@ -276,6 +291,27 @@ class SynthesisJob:
             duv_pls=self.duv_pls,
         )
 
+    def conservative(self) -> "SynthesisJob":
+        """The certification-failure fallback recipe (DESIGN SS5j).
+
+        Re-solves on the most trustworthy path: fresh non-incremental
+        contexts, no CNF preprocessing, no clause-sharing imports --
+        every optimization a bad certificate implicates is off.
+        Certification itself stays on, so the re-solve is re-checked.
+        """
+        params = _unparams(self.config_params)
+        params["incremental"] = False
+        params["preprocess"] = False
+        params["clause_sharing"] = False
+        return SynthesisJob(
+            iuv=self.iuv,
+            design_spec=self.design_spec,
+            provider_spec=self.provider_spec,
+            config_params=tuple(sorted(params.items())),
+            netlist_hash=self.netlist_hash,
+            duv_pls=self.duv_pls,
+        )
+
     def cache_key(self) -> str:
         return content_key(
             schema=SCHEMA_VERSION,
@@ -283,7 +319,7 @@ class SynthesisJob:
             template="synthesize-v1",  # the SS V-B six-step property suite
             netlist=self.netlist_hash,
             provider=self.provider_spec.describe(),
-            config=_unparams(self.config_params),
+            config=_cacheable_config(self.config_params),
             iuv=self.iuv,
             duv_pls=sorted(self.duv_pls) if self.duv_pls is not None else None,
         )
@@ -492,6 +528,11 @@ class ReachJob:
     horizon: int = 4
     k: int = 2
     conflict_budget: int = 200000
+    # certification + solve-path knobs; deliberately NOT part of
+    # cache_key() -- they change how much the verdict is checked (or
+    # which solve path produced it), never what the verdict is
+    certify: str = "off"
+    preprocess: bool = True
 
     @property
     def job_id(self) -> str:
@@ -512,10 +553,14 @@ class ReachJob:
         from ..props import Eventually, Query, sig
 
         injection_point("job.execute", job=self.job_id)
+        from ..cert import CertifyPolicy
+
+        policy = CertifyPolicy.from_mode(self.certify)
         design = _built_fuzz_design(self.design_json)
         netlist = design.netlist
         bmc = BmcContext(
-            netlist, horizon=self.horizon, conflict_budget=self.conflict_budget
+            netlist, horizon=self.horizon, conflict_budget=self.conflict_budget,
+            preprocess=self.preprocess, certify=policy,
         )
         result = bmc.check(
             Query("reach_%s" % self.probe, Eventually(sig(self.probe)))
@@ -529,6 +574,8 @@ class ReachJob:
                 sig(self.probe),
                 k=self.k,
                 conflict_budget=self.conflict_budget,
+                preprocess=self.preprocess,
+                certify=policy,
             )
             if proof.outcome == UNREACHABLE:
                 # the induction proof decides the query; the bounded
@@ -546,6 +593,13 @@ class ReachJob:
         return replace(
             self, conflict_budget=self.conflict_budget * (factor ** attempt)
         )
+
+    def conservative(self) -> "ReachJob":
+        """Certification-failure fallback: re-solve without preprocessing
+        (reach jobs already build fresh, unshared solver state)."""
+        from dataclasses import replace
+
+        return replace(self, preprocess=False)
 
     def cache_key(self) -> str:
         import hashlib
@@ -575,7 +629,8 @@ class ReachJob:
 
 
 def reach_jobs_for_design(spec, label: str, horizon: int = 4, k: int = 2,
-                          conflict_budget: int = 200000) -> List[ReachJob]:
+                          conflict_budget: int = 200000,
+                          certify: str = "off") -> List[ReachJob]:
     """One :class:`ReachJob` per probe of one fuzz design spec."""
     from ..fuzz.gen import build_design, spec_to_dict
 
@@ -591,13 +646,15 @@ def reach_jobs_for_design(spec, label: str, horizon: int = 4, k: int = 2,
             horizon=horizon,
             k=k,
             conflict_budget=conflict_budget,
+            certify=certify,
         )
         for probe in design.probe_names
     ]
 
 
 def reach_jobs_for_corpus(corpus_dir: str, horizon: int = 4, k: int = 2,
-                          conflict_budget: int = 200000) -> List[ReachJob]:
+                          conflict_budget: int = 200000,
+                          certify: str = "off") -> List[ReachJob]:
     """Reach jobs for every reproducer JSON under ``corpus_dir``.
 
     The committed fuzz corpus becomes a ready-made multi-design
@@ -615,7 +672,7 @@ def reach_jobs_for_corpus(corpus_dir: str, horizon: int = 4, k: int = 2,
         jobs.extend(
             reach_jobs_for_design(
                 load_reproducer(path), label, horizon=horizon, k=k,
-                conflict_budget=conflict_budget,
+                conflict_budget=conflict_budget, certify=certify,
             )
         )
     return jobs

@@ -117,6 +117,14 @@ class RunManifest:
     # per-node accounting for distributed runs: node_id -> {jobs,
     # properties, check_seconds}; empty for local runs
     nodes: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    # ---- verdict certification (repro.cert, DESIGN SS5j) ----
+    cert_checked: int = 0  # certificates actually verified or refuted
+    cert_failures: int = 0  # certificates that failed verification
+    cert_degraded_jobs: int = 0  # jobs re-solved on the conservative path
+    cert_uncaught: int = 0  # failures surviving into final results
+    # verdict drift between a quarantined solve and its conservative
+    # re-solve: [{"query", "original", "conservative"}]
+    cert_divergences: list = field(default_factory=list)
 
     @property
     def properties_total(self) -> int:
@@ -149,7 +157,7 @@ class RunManifest:
         bucket["check_seconds"] = round(bucket["check_seconds"] + spent, 6)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "jobs_total": self.jobs_total,
             "jobs_cached": self.jobs_cached,
             "jobs_executed": self.jobs_executed,
@@ -176,6 +184,20 @@ class RunManifest:
             "interrupted": self.interrupted,
             "nodes": {k: dict(v) for k, v in sorted(self.nodes.items())},
         }
+        # certification accounting appears only when the run certified
+        # anything, so uncertified manifests keep their pre-cert shape
+        if (
+            self.cert_checked
+            or self.cert_failures
+            or self.cert_degraded_jobs
+            or self.cert_uncaught
+        ):
+            payload["cert_checked"] = self.cert_checked
+            payload["cert_failures"] = self.cert_failures
+            payload["cert_degraded_jobs"] = self.cert_degraded_jobs
+            payload["cert_uncaught"] = self.cert_uncaught
+            payload["cert_divergences"] = list(self.cert_divergences)
+        return payload
 
     def reconciles(self, stats) -> bool:
         """SS VII-B3 invariant against a stats accumulator this run filled."""
@@ -206,6 +228,20 @@ class RunManifest:
             )
         )
         extras = []
+        if self.cert_checked or self.cert_failures:
+            extras.append(
+                "%d certificate(s) checked" % self.cert_checked
+            )
+        if self.cert_failures:
+            extras.append(
+                "%d certification failure(s), %d job(s) re-solved "
+                "conservatively, %d uncaught"
+                % (
+                    self.cert_failures,
+                    self.cert_degraded_jobs,
+                    self.cert_uncaught,
+                )
+            )
         if self.pool_rebuilds:
             extras.append("%d pool rebuild(s)" % self.pool_rebuilds)
         if self.jobs_quarantined:

@@ -77,7 +77,11 @@ class BmcContext:
         stats: Optional[PropertyStats] = None,
         coi_targets: Optional[Sequence[str]] = None,
         preprocess: bool = True,
+        certify=None,
     ):
+        from ..cert import CertifyPolicy
+
+        self.certify = certify or CertifyPolicy()
         self.coi = None
         if coi_targets is not None:
             from ..rtl.coi import coi_slice
@@ -91,7 +95,7 @@ class BmcContext:
         self.conflict_budget = conflict_budget
         self.stats = stats
 
-        self.solver = SatSolver(preprocess=preprocess)
+        self.solver = SatSolver(preprocess=preprocess, proof=self.certify.enabled)
         self.builder = BitBuilder(self.solver)
         self.frames: List[Frame] = []
         self._frozen_frames = 0
@@ -197,14 +201,19 @@ class BmcContext:
             verdict = self.solver.solve(
                 assumptions=assumptions, max_conflicts=self.conflict_budget
             )
+            certificate = None
             if verdict == SAT:
                 outcome = REACHABLE
                 witness = self._extract_witness()
                 detail = ""
+                if self.certify.enabled:
+                    certificate = self._witness_certificate(query)
             elif verdict == UNSAT:
                 if self.complete_horizon:
                     outcome = UNREACHABLE
                     detail = "UNSAT within declared-complete horizon"
+                    if self.certify.enabled:
+                        certificate = self._drat_certificate(query)
                 else:
                     outcome = UNDETERMINED
                     detail = "UNSAT within bounded horizon %d" % self.horizon
@@ -223,12 +232,55 @@ class BmcContext:
                 detail=detail,
                 depth=self.horizon,
                 solver=dict(self.solver.last_solve),
+                certificate=certificate,
             )
             sp.set("outcome", outcome)
             if self.stats is not None:
                 self.stats.record(result)
                 obs.note_property(outcome, elapsed)
             return result
+
+    def _witness_certificate(self, query: Query) -> Dict:
+        """Decode the live SAT model and replay-confirm it (repro.cert)."""
+        from ..cert import witness_certificate
+        from ..cert.witness import decode_model_witness
+        from ..props.views import ConcreteOps
+
+        decoded = decode_model_witness(self.builder, self.frames)
+
+        def _holds(view):
+            for expr in query.assumes:
+                for t in range(view.horizon):
+                    if not expr.evaluate(view, t, ConcreteOps):
+                        return False
+            return bool(query.prop.evaluate(view, ConcreteOps))
+
+        return witness_certificate(
+            self.netlist,
+            decoded["registers"],
+            decoded["inputs"],
+            _holds,
+            self.certify,
+            name=query.name,
+        )
+
+    def _drat_certificate(self, query: Query) -> Dict:
+        """Bundle the solver's proof log for this UNSAT answer (repro.cert)."""
+        from ..cert import drat_certificate
+
+        # spot-unsampled queries get a count-only leg: no snapshot copy
+        # of the shared incremental log (see drat_certificate)
+        entries = (
+            self.solver.proof_entries()
+            if self.certify.should_check_proof(query.name)
+            else self.solver.proof_length()
+        )
+        return drat_certificate(
+            {"proof": (entries, self.solver.final_lemma())},
+            self.certify,
+            name=query.name,
+            overflow=self.solver.proof_overflowed(),
+        )
 
     def _extract_witness(self) -> List[Dict[str, int]]:
         witness = []

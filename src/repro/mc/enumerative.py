@@ -31,7 +31,13 @@ from ..rtl.netlist import Netlist
 from .outcomes import REACHABLE, UNDETERMINED, UNREACHABLE, CheckResult
 from .stats import PropertyStats
 
-__all__ = ["Context", "ReactiveContext", "TraceDB", "EnumerativeEngine"]
+__all__ = [
+    "Context",
+    "ReactiveContext",
+    "TraceDB",
+    "EnumerativeEngine",
+    "simulate_context",
+]
 
 
 @dataclass(frozen=True)
@@ -88,6 +94,43 @@ class ReactiveContext:
         )
 
 
+def simulate_context(simulator: Simulator, context) -> List[Tuple[int, ...]]:
+    """Reset ``simulator`` and drive one context through it, returning rows.
+
+    Shared between :class:`TraceDB` (which builds views for many queries)
+    and cover-witness replay (:mod:`repro.cert`), which re-drives the
+    same stimulus through a *fresh* simulator so its check is independent
+    of the rows the original verdict was read from.
+    """
+    simulator.reset(dict(context.reset_overrides))
+    if isinstance(context, ReactiveContext):
+        # hand the driver a minimal dict of its declared feedback
+        # signals instead of materializing every observable
+        index = getattr(simulator, "_observable_index", None)
+        if index is None:
+            index = {
+                name: i for i, name in enumerate(simulator.observable_names)
+            }
+            simulator._observable_index = index
+        feedback = [
+            (name, index[name])
+            for name in context.feedback_signals
+            if name in index
+        ]
+        driver = context.driver_factory()
+        rows = []
+        prev_obs = None
+        for t in range(context.horizon):
+            row = simulator.step_tuple(driver(t, prev_obs))
+            rows.append(row)
+            prev_obs = {name: row[i] for name, i in feedback}
+        return rows
+    return [
+        simulator.step_tuple(dict(cycle_inputs))
+        for cycle_inputs in context.input_sequence
+    ]
+
+
 class TraceDB:
     """Simulated traces for a context family, reusable across many queries."""
 
@@ -98,29 +141,8 @@ class TraceDB:
         self.views: List[ConcreteTraceView] = []
         simulator = Simulator(netlist)
         names = simulator.observable_names
-        index = {name: i for i, name in enumerate(names)}
         for context in contexts:
-            simulator.reset(dict(context.reset_overrides))
-            if isinstance(context, ReactiveContext):
-                # hand the driver a minimal dict of its declared feedback
-                # signals instead of materializing every observable
-                feedback = [
-                    (name, index[name])
-                    for name in context.feedback_signals
-                    if name in index
-                ]
-                driver = context.driver_factory()
-                rows = []
-                prev_obs = None
-                for t in range(context.horizon):
-                    row = simulator.step_tuple(driver(t, prev_obs))
-                    rows.append(row)
-                    prev_obs = {name: row[i] for name, i in feedback}
-            else:
-                rows = [
-                    simulator.step_tuple(dict(cycle_inputs))
-                    for cycle_inputs in context.input_sequence
-                ]
+            rows = simulate_context(simulator, context)
             self.contexts.append(context)
             self.views.append(ConcreteTraceView(rows, names=names))
 

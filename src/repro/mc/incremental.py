@@ -75,9 +75,10 @@ class _Unrolling:
         symbolic_init: bool,
         symbolic_registers,
         preprocess: bool = True,
+        proof: bool = False,
     ):
         self.netlist = netlist
-        self.solver = SatSolver(preprocess=preprocess)
+        self.solver = SatSolver(preprocess=preprocess, proof=proof)
         self.builder = BitBuilder(self.solver)
         self.frames: List = []
         self._frozen_frames = 0
@@ -218,19 +219,25 @@ class IncrementalInductionContext:
         simple_path: bool = True,
         preprocess: bool = True,
         share_key: Optional[str] = None,
+        certify=None,
     ):
         if k < 1:
             raise ValueError("k-induction needs k >= 1, got %d" % k)
+        from ..cert import CertifyPolicy
+
+        self.certify = certify or CertifyPolicy()
         self.netlist = netlist
         self.k = k
         self.symbolic_registers = frozenset(symbolic_registers)
         self.simple_path = simple_path
         self.preprocess = preprocess
         self.checks = 0
+        proof = self.certify.enabled
         self._base = _Unrolling(
-            netlist, False, self.symbolic_registers, preprocess=preprocess
+            netlist, False, self.symbolic_registers, preprocess=preprocess,
+            proof=proof,
         )
-        self._step = _Unrolling(netlist, True, (), preprocess=preprocess)
+        self._step = _Unrolling(netlist, True, (), preprocess=preprocess, proof=proof)
         self._asserted_pairs: set = set()
         self._build(k)
         # portfolio sharing is armed over the creation build only: after
@@ -299,13 +306,15 @@ class IncrementalInductionContext:
             _reuse_counter().inc(context="kinduction")
         self.checks += 1
 
-        def _finish(sp, outcome, detail, solver_delta, witness=None):
+        query_name = "kind(%r)" % (bad,)
+
+        def _finish(sp, outcome, detail, solver_delta, witness=None, certificate=None):
             if self._shared is not None:
                 self._shared.push()
             elapsed = time.perf_counter() - start
             sp.set("outcome", outcome)
             return CheckResult(
-                query_name="kind(%r)" % (bad,),
+                query_name=query_name,
                 outcome=outcome,
                 engine="k-induction",
                 witness=witness,
@@ -313,6 +322,7 @@ class IncrementalInductionContext:
                 detail=detail,
                 depth=k,
                 solver=solver_delta,
+                certificate=certificate,
             )
 
         with obs.span("mc.kinduction", k=k, incremental=True) as root:
@@ -334,6 +344,20 @@ class IncrementalInductionContext:
                     assumptions=assumptions, max_conflicts=conflict_budget
                 )
                 base_delta = dict(base.solver.last_solve)
+                # snapshot the proof leg while the verdict is fresh: later
+                # properties (and their retraction units) append to the
+                # same shared log.  For a query the policy won't check
+                # (spot-unsampled) the leg carries just the log length --
+                # copying the whole shared log per query is the dominant
+                # spot-mode cost otherwise.
+                base_leg = None
+                if self.certify.enabled and verdict == UNSAT:
+                    base_leg = (
+                        base.solver.proof_entries()
+                        if self.certify.should_check_proof(query_name)
+                        else base.solver.proof_length(),
+                        base.solver.final_lemma(),
+                    )
             if verdict == SAT:
                 witness = [
                     {
@@ -342,9 +366,31 @@ class IncrementalInductionContext:
                     }
                     for frame in base.frames[:k]
                 ]
+                certificate = None
+                if self.certify.enabled:
+                    from ..cert import witness_certificate
+                    from ..cert.witness import decode_model_witness
+                    from ..props.views import ConcreteOps
+
+                    decoded = decode_model_witness(base.builder, base.frames[:k])
+
+                    def _fires(view):
+                        return any(
+                            bad.evaluate(view, t, ConcreteOps)
+                            for t in range(min(k, view.horizon))
+                        )
+
+                    certificate = witness_certificate(
+                        self.netlist,
+                        decoded["registers"],
+                        decoded["inputs"],
+                        _fires,
+                        self.certify,
+                        name=query_name,
+                    )
                 return _finish(
                     root, REACHABLE, "base-case witness at k=%d" % k,
-                    base_delta, witness=witness,
+                    base_delta, witness=witness, certificate=certificate,
                 )
             if verdict == UNKNOWN:
                 return _finish(
@@ -367,14 +413,38 @@ class IncrementalInductionContext:
                     assumptions=assumptions, max_conflicts=conflict_budget
                 )
                 step_delta = dict(step.solver.last_solve)
+                # capture the step leg BEFORE retract(): retraction logs a
+                # root unit (-act) that would make the terminal lemma
+                # (which contains -act) trivially implied -- a vacuous
+                # certificate
+                step_leg = None
+                if self.certify.enabled and verdict == UNSAT:
+                    step_leg = (
+                        step.solver.proof_entries()
+                        if self.certify.should_check_proof(query_name)
+                        else step.solver.proof_length(),
+                        step.solver.final_lemma(),
+                    )
                 step.solver.retract(act)
                 merged: Dict[str, int] = {}
                 for delta in (base_delta, step_delta):
                     for key, value in delta.items():
                         merged[key] = merged.get(key, 0) + value
             if verdict == UNSAT:
+                certificate = None
+                if self.certify.enabled and base_leg and step_leg:
+                    from ..cert import drat_certificate
+
+                    certificate = drat_certificate(
+                        {"base": base_leg, "step": step_leg},
+                        self.certify,
+                        name=query_name,
+                        overflow=base.solver.proof_overflowed()
+                        or step.solver.proof_overflowed(),
+                    )
                 return _finish(
-                    root, UNREACHABLE, "induction closed at k=%d" % k, merged
+                    root, UNREACHABLE, "induction closed at k=%d" % k, merged,
+                    certificate=certificate,
                 )
             detail = (
                 "induction step SAT (k too small or property not inductive)"
@@ -399,9 +469,11 @@ class InductionPool:
         coi: bool = True,
         preprocess: bool = True,
         share_namespace: Optional[str] = None,
+        certify=None,
     ):
         self.coi = coi
         self.preprocess = preprocess
+        self.certify = certify
         # non-None arms portfolio clause sharing: contexts publish/import
         # short learned clauses through the process-local exchange under
         # keys rooted at this namespace (workers proving the same design
@@ -457,13 +529,18 @@ class InductionPool:
         k: int,
         symbolic_registers=(),
         simple_path: bool = True,
+        certify=None,
     ) -> IncrementalInductionContext:
+        from ..cert import CertifyPolicy
+
+        policy = certify or self.certify or CertifyPolicy()
+        certified = bool(policy.enabled)
         symbolic_registers = frozenset(symbolic_registers)
         support = None
         if self.coi:
             targets = tuple(sorted(bad.signals()))
             support = self._support(netlist, coi_cone(netlist, targets))
-        key = (netlist, support, symbolic_registers, simple_path)
+        key = (netlist, support, symbolic_registers, simple_path, certified)
         ctx = self._contexts.get(key)
         if (ctx is None or ctx.k > k) and self.coi:
             # a context whose cone covers this property's support serves it
@@ -472,10 +549,12 @@ class InductionPool:
             # contexts already past this k (they cannot shrink)
             best = None
             for cand_key, cand in self._contexts.items():
-                nl, sup, sregs, sp = cand_key
+                nl, sup, sregs, sp, cert = cand_key
                 if nl is not netlist or sup is None or cand.k > k:
                     continue
                 if sregs != symbolic_registers or sp != simple_path:
+                    continue
+                if cert != certified:
                     continue
                 if support[0] <= sup[0] and support[1] <= sup[1]:
                     if best is None or len(sup[0]) < len(best[0][1][0]):
@@ -485,7 +564,7 @@ class InductionPool:
         if ctx is None or ctx.k > k:
             # contexts only grow; a smaller-k request gets a fresh context
             # (simple-path strengthening is k-specific, see module doc)
-            key = (netlist, support, symbolic_registers, simple_path)
+            key = (netlist, support, symbolic_registers, simple_path, certified)
             target_netlist = netlist
             if self.coi:
                 # enrich the slice with every named signal whose support
@@ -508,6 +587,7 @@ class InductionPool:
                 share_key=self._share_key(
                     support, symbolic_registers, simple_path
                 ),
+                certify=policy,
             )
             self._contexts[key] = ctx
         elif ctx.k < k:
@@ -522,6 +602,9 @@ class InductionPool:
         symbolic_registers=(),
         conflict_budget: Optional[int] = 200000,
         simple_path: bool = True,
+        certify=None,
     ) -> CheckResult:
-        ctx = self.context_for(netlist, bad, k, symbolic_registers, simple_path)
+        ctx = self.context_for(
+            netlist, bad, k, symbolic_registers, simple_path, certify=certify
+        )
         return ctx.prove(bad, conflict_budget=conflict_budget)

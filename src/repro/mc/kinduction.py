@@ -61,6 +61,7 @@ def prove_unreachable_kinduction(
     simple_path: bool = True,
     pool=None,
     preprocess: bool = True,
+    certify=None,
 ) -> CheckResult:
     """Try to prove ``bad`` globally unreachable via k-induction.
 
@@ -81,17 +82,22 @@ def prove_unreachable_kinduction(
             symbolic_registers=symbolic_registers,
             conflict_budget=conflict_budget,
             simple_path=simple_path,
+            certify=certify,
         )
+    from ..cert import CertifyPolicy
+
+    policy = certify or CertifyPolicy()
     start = time.perf_counter()
     symbolic_registers = frozenset(symbolic_registers)
+    query_name = "kind(%r)" % (bad,)
 
-    def _finish(sp, outcome, detail, solver_delta, witness=None):
+    def _finish(sp, outcome, detail, solver_delta, witness=None, certificate=None):
         # note: no check_seconds accounting here -- the caller records the
         # induction verdict into its PropertyStats and accounts the time
         elapsed = time.perf_counter() - start
         sp.set("outcome", outcome)
         return CheckResult(
-            query_name="kind(%r)" % (bad,),
+            query_name=query_name,
             outcome=outcome,
             engine="k-induction",
             witness=witness,
@@ -99,12 +105,13 @@ def prove_unreachable_kinduction(
             detail=detail,
             depth=k,
             solver=solver_delta,
+            certificate=certificate,
         )
 
     with obs.span("mc.kinduction", k=k) as root:
         # ---- base case: BMC from reset for k steps
         with obs.span("mc.kinduction.base"):
-            base_solver = SatSolver(preprocess=preprocess)
+            base_solver = SatSolver(preprocess=preprocess, proof=policy.enabled)
             base_builder = BitBuilder(base_solver)
             with paused_gc():
                 reset_state: Dict[str, List[int]] = {}
@@ -137,9 +144,31 @@ def prove_unreachable_kinduction(
                 }
                 for frame in base_frames
             ]
+            certificate = None
+            if policy.enabled:
+                from ..cert import witness_certificate
+                from ..cert.witness import decode_model_witness
+                from ..props.views import ConcreteOps
+
+                decoded = decode_model_witness(base_builder, base_frames)
+
+                def _fires(view):
+                    return any(
+                        bad.evaluate(view, t, ConcreteOps)
+                        for t in range(min(k, view.horizon))
+                    )
+
+                certificate = witness_certificate(
+                    netlist,
+                    decoded["registers"],
+                    decoded["inputs"],
+                    _fires,
+                    policy,
+                    name=query_name,
+                )
             return _finish(
                 root, REACHABLE, "base-case witness at k=%d" % k, base_delta,
-                witness=witness,
+                witness=witness, certificate=certificate,
             )
         if verdict == UNKNOWN:
             return _finish(
@@ -148,7 +177,7 @@ def prove_unreachable_kinduction(
 
         # ---- inductive step: arbitrary start state, k good steps, bad at k
         with obs.span("mc.kinduction.step"):
-            step_solver = SatSolver(preprocess=preprocess)
+            step_solver = SatSolver(preprocess=preprocess, proof=policy.enabled)
             step_builder = BitBuilder(step_solver)
             with paused_gc():
                 free_state: Dict[str, List[int]] = {
@@ -189,8 +218,31 @@ def prove_unreachable_kinduction(
             )
             merged = _merge_counters(base_delta, step_solver.last_solve)
         if verdict == UNSAT:
+            certificate = None
+            if policy.enabled:
+                from ..cert import drat_certificate
+
+                # the base leg is also UNSAT here (REACHABLE returned
+                # above), so both legs of the unbounded proof are bundled
+                certificate = drat_certificate(
+                    {
+                        "base": (
+                            base_solver.proof_entries(),
+                            base_solver.final_lemma(),
+                        ),
+                        "step": (
+                            step_solver.proof_entries(),
+                            step_solver.final_lemma(),
+                        ),
+                    },
+                    policy,
+                    name=query_name,
+                    overflow=base_solver.proof_overflowed()
+                    or step_solver.proof_overflowed(),
+                )
             return _finish(
-                root, UNREACHABLE, "induction closed at k=%d" % k, merged
+                root, UNREACHABLE, "induction closed at k=%d" % k, merged,
+                certificate=certificate,
             )
         detail = (
             "induction step SAT (k too small or property not inductive)"

@@ -44,6 +44,13 @@ class CheckResult:
     detail: str = ""
     depth: Optional[int] = None
     solver: Optional[Dict[str, int]] = None
+    # verdict certificate bundle (see repro.cert): a "witness" bundle for
+    # REACHABLE (decoded input trace, replay-confirmed on the simulator)
+    # or a "drat" bundle for UNREACHABLE (checkable proof logs for every
+    # solve leg).  None = uncertified (certify off, or a pre-certificate
+    # cache entry); UNDETERMINED verdicts are honestly uncertifiable and
+    # never carry one.
+    certificate: Optional[Dict] = None
 
     @property
     def reachable(self):
@@ -81,6 +88,8 @@ class CheckResult:
             payload["depth"] = self.depth
         if self.solver is not None:
             payload["solver"] = self.solver
+        if self.certificate is not None:
+            payload["certificate"] = self.certificate
         return payload
 
     @staticmethod
@@ -94,4 +103,5 @@ class CheckResult:
             detail=payload.get("detail", ""),
             depth=payload.get("depth"),
             solver=payload.get("solver"),
+            certificate=payload.get("certificate"),
         )

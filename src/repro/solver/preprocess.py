@@ -45,6 +45,7 @@ import time
 from typing import Dict, Iterable, List, Set
 
 from ..obs.metrics import REGISTRY
+from .sat import _dec
 
 __all__ = ["preprocess", "PreprocessStats"]
 
@@ -195,8 +196,21 @@ class _Pass:
             self.occs.setdefault(enc, set()).add(ci)
         return ci
 
+    def _log(self, tag: str, encs) -> None:
+        """DRAT-log a derived clause / deletion (encoded lits -> DIMACS).
+
+        Derivations ("a") cover strengthenings, BVE resolvents and derived
+        root units -- each is a single resolution/propagation consequence
+        of clauses already in the log, hence RUP.  Deletions ("d") are
+        advisory: the checker ignores them (sound for RUP checking), they
+        exist so the log records what BVE removed.
+        """
+        if self.solver._proof_tags is not None:
+            self.solver._proof_log(tag, [_dec(enc) for enc in encs])
+
     def _kill(self, ci: int):
         self.alive[ci] = False
+        self._log("d", self.clauses[ci])
         for enc in self.clauses[ci]:
             occ = self.occs.get(enc)
             if occ is not None:
@@ -205,6 +219,7 @@ class _Pass:
     def _assert_unit(self, enc: int) -> bool:
         """Apply a derived root unit and re-simplify touched clauses."""
         solver = self.solver
+        self._log("a", (enc,))
         if not solver._enqueue(enc, None) or solver._propagate() is not None:
             solver._ok = False
             return False
@@ -233,6 +248,7 @@ class _Pass:
                 if len(stripped) == 1:
                     self._kill(ci)
                     unit = stripped[0]
+                    self._log("a", (unit,))
                     if not solver._enqueue(unit, None) or solver._propagate() is not None:
                         solver._ok = False
                         return False
@@ -310,6 +326,7 @@ class _Pass:
             self.stats["duplicates"] += 1
             return True
         self.keys.add(key)
+        self._log("a", new)
         self._append(new)
         return True
 
@@ -384,6 +401,7 @@ class _Pass:
                     return True
                 continue
             self.keys.add(tuple(res))
+            self._log("a", res)
             self._append(res)
         return True
 

@@ -70,6 +70,7 @@ from __future__ import annotations
 import gc
 import heapq
 import time
+from array import array as _array
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..obs.metrics import REGISTRY
@@ -115,6 +116,10 @@ UNKNOWN = "unknown"
 SHARE_MAX_LEN = 8
 # cap on clauses buffered for export between harvests
 _EXPORT_POOL_CAP = 2048
+# hard ceiling on retained proof entries (DRAT logging, see repro.cert):
+# a run that blows past it keeps its prefix and flags the overflow, so
+# certificates degrade to "skipped" instead of exhausting memory
+_PROOF_CAP = 2_000_000
 
 
 def _luby(i):
@@ -148,7 +153,7 @@ def _dec(enc: int) -> int:
 class SatSolver:
     """CDCL solver with incremental clause addition and assumptions."""
 
-    def __init__(self, preprocess: bool = True):
+    def __init__(self, preprocess: bool = True, proof: bool = False):
         self.num_vars = 0
         # truth value per *encoded* literal: 0 unassigned, 1 true, -1
         # false; both polarities are kept in sync on (un)assignment so the
@@ -220,6 +225,22 @@ class SatSolver:
         self._export_pool: List[Tuple[int, ...]] = []
         self._export_seen: set = set()
         self._export_cursor = 0
+        # ---- DRAT proof log (see repro.cert): logical entries are
+        # (tag, dimacs_lits) with tag "i" (input), "a" (derived, must be
+        # RUP against the preceding entries) or "d" (advisory deletion).
+        # Stored flat -- one tag byte per entry in a bytearray plus a
+        # zero-terminated literal stream in an array('q') (the DRAT text
+        # layout) -- so the multi-hundred-thousand-entry log adds zero
+        # GC-tracked objects: the per-entry tuples made the collector's
+        # first post-build scan the dominant ``--certify spot`` cost.
+        # proof_entries() reconstructs tuples on demand (sampled
+        # certificates only).  None = logging off; the log is
+        # append-only so incremental contexts can snapshot [0:n) slices
+        # per certificate.
+        self._proof_tags: Optional[bytearray] = bytearray() if proof else None
+        self._proof_lits = _array("q") if proof else None
+        self._proof_overflow = False
+        self._proof_tag = "i"  # add_clause's tag; import_shared flips to "a"
 
     # ------------------------------------------------------------------ setup
     def _grow(self):
@@ -304,6 +325,12 @@ class SatSolver:
         lits = list(lits)
         if activation is not None:
             lits.append(-activation)
+        if self._proof_tags is not None:
+            # log the clause *as installed* (guard included), before the
+            # root simplification below: stripped/falsified literals are
+            # recovered by unit propagation, so the checker sees the same
+            # formula the solver reasons over
+            self._proof_log(self._proof_tag, lits)
         # Adding a clause invalidates any model from a previous solve().
         # Return to the root level first: the satisfied/falsified checks
         # below must only consult root facts, and a unit clause enqueued
@@ -389,6 +416,17 @@ class SatSolver:
         c2 = [no, eb]
         c3 = [po, ea ^ 1, eb ^ 1]
         self._clauses += (c1, c2, c3)
+        tags = self._proof_tags
+        if tags is not None:
+            # inlined _proof_log: gate definitions dominate the log, and
+            # the per-entry call/alloc overhead is the whole logging cost
+            if len(tags) + 3 <= _PROOF_CAP:
+                tags += b"iii"
+                self._proof_lits.extend(
+                    (-out, a, 0, -out, b, 0, out, -a, -b, 0)
+                )
+            else:
+                self._proof_overflow = True
         bin_watches = self._bin_watches
         bin_watches[po] = [ea, c1, eb, c2]  # slot po: entries watching no
         bin_watches[ea ^ 1] += (no, c1)
@@ -431,6 +469,16 @@ class SatSolver:
         c3 = [po, ea ^ 1, eb]
         c4 = [po, ea, eb ^ 1]
         self._clauses += (c1, c2, c3, c4)
+        tags = self._proof_tags
+        if tags is not None:
+            if len(tags) + 4 <= _PROOF_CAP:
+                tags += b"iiii"
+                self._proof_lits.extend(
+                    (-out, a, b, 0, -out, -a, -b, 0,
+                     out, -a, b, 0, out, a, -b, 0)
+                )
+            else:
+                self._proof_overflow = True
         watches = self._watches
         watches[po] = [c1, ea, c2, ea ^ 1]  # slot po: entries watching no
         watches[no] = [c3, ea ^ 1, c4, ea]  # slot no: entries watching po
@@ -481,6 +529,15 @@ class SatSolver:
         clauses.append(c1)
         clauses.append(c2)
         clauses.append(c3)
+        tags = self._proof_tags
+        if tags is not None:
+            if len(tags) + 3 <= _PROOF_CAP:
+                tags += b"iii"
+                self._proof_lits.extend(
+                    (-out, a, 0, -out, b, 0, out, -a, -b, 0)
+                )
+            else:
+                self._proof_overflow = True
         # same layout _watch produces: binaries in the (other, clause)
         # lists, the ternary under w^1 with the other watched lit as blocker
         bin_watches = self._bin_watches
@@ -529,6 +586,16 @@ class SatSolver:
         clauses.append(c2)
         clauses.append(c3)
         clauses.append(c4)
+        tags = self._proof_tags
+        if tags is not None:
+            if len(tags) + 4 <= _PROOF_CAP:
+                tags += b"iiii"
+                self._proof_lits.extend(
+                    (-out, a, b, 0, -out, -a, -b, 0,
+                     out, -a, b, 0, out, a, -b, 0)
+                )
+            else:
+                self._proof_overflow = True
         watches = self._watches
         watches[po].extend((c1, ea, c2, ea ^ 1))
         watches[no].extend((c3, ea ^ 1, c4, ea))
@@ -988,6 +1055,11 @@ class SatSolver:
 
     def _record_learned(self, learned):
         self.learned_total += 1
+        if self._proof_tags is not None:
+            # every learned clause is RUP against the database (it falls
+            # out of the conflict's reason graph), so it is a valid DRAT
+            # addition even when later calls learn from it
+            self._proof_log("a", [_dec(q) for q in learned])
         if len(learned) == 1:
             self._enqueue(learned[0], None)
             return
@@ -1188,6 +1260,103 @@ class SatSolver:
             overlay[var] = value
         self._elim_model = overlay
 
+    # ------------------------------------------------------------ proof logging
+    def _proof_log(self, tag: str, lits) -> None:
+        """Append one proof entry (caller guards logging is on)."""
+        tags = self._proof_tags
+        if len(tags) >= _PROOF_CAP:
+            self._proof_overflow = True
+            return
+        tags.append(ord(tag))
+        proof_lits = self._proof_lits
+        proof_lits.extend(lits)
+        proof_lits.append(0)
+
+    @property
+    def proof_enabled(self) -> bool:
+        return self._proof_tags is not None
+
+    def proof_length(self) -> int:
+        return len(self._proof_tags) if self._proof_tags is not None else 0
+
+    def proof_overflowed(self) -> bool:
+        return self._proof_overflow
+
+    def proof_entries(self, start: int = 0, stop: Optional[int] = None):
+        """A snapshot slice of the proof log (list of (tag, lits) tuples).
+
+        Reconstructs the tuple view from the flat tag/literal streams;
+        only certificate-sampled queries pay this, the hot logging path
+        never allocates per-entry objects.
+        """
+        tags = self._proof_tags
+        if tags is None:
+            return []
+        if stop is None or stop > len(tags):
+            stop = len(tags)
+        entries: List[Tuple[str, Tuple[int, ...]]] = []
+        chunk: List[int] = []
+        idx = 0
+        append_entry = entries.append
+        append_lit = chunk.append
+        for lit in self._proof_lits:
+            if lit:
+                append_lit(lit)
+            else:
+                if idx >= stop:
+                    break
+                if idx >= start:
+                    append_entry((chr(tags[idx]), tuple(chunk)))
+                idx += 1
+                chunk.clear()
+        return entries
+
+    def final_lemma(self) -> Optional[Tuple[int, ...]]:
+        """The terminal DRAT lemma of the most recent UNSAT verdict.
+
+        The negation-of-core clause: UNSAT under assumptions means the
+        database implies ``OR(-a for a in last_core)``, and that clause is
+        RUP against the logged entries (repeated analyzeFinal closure).  A
+        root-level refutation has an empty core, giving the empty clause.
+        Returns None when the last verdict was not UNSAT.
+        """
+        if self.last_core is None:
+            return None
+        return tuple(-lit for lit in self.last_core)
+
+    def _rup_check(self, lits: Sequence[int]) -> bool:
+        """True iff ``lits`` (DIMACS) is implied by the database via RUP.
+
+        Assumes the negation of every literal at a throwaway decision
+        level and propagates; a conflict proves the clause.  Used to vet
+        shared-clause imports when proof logging is on: a clause that
+        passes is a sound DRAT addition *here*, independent of the peer
+        that learned it.  No learning, no lasting state.
+        """
+        if not self._ok:
+            return True
+        if self._trail_lim:
+            self._backtrack(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return True
+        lit_val = self._lit_val
+        self._trail_lim.append(len(self._trail))
+        for lit in lits:
+            enc = (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+            value = lit_val[enc]
+            if value == 1:
+                # already satisfied by root facts (or by an earlier
+                # complementary literal of this clause): trivially implied
+                self._backtrack(0)
+                return True
+            if value == -1:
+                continue
+            self._enqueue(enc ^ 1, None)
+        conflict = self._propagate() is not None
+        self._backtrack(0)
+        return conflict
+
     # ------------------------------------------------------------ clause sharing
     def mark_share_prefix(self) -> int:
         """Arm clause export over the current (deterministic) prefix.
@@ -1233,10 +1402,29 @@ class SatSolver:
         unrelated check's assumption state.
         """
         count = 0
+        rejected = 0
+        proof = self._proof_tags is not None
         for clause in clauses:
-            if not self.add_clause(clause, activation=activation):
+            if proof:
+                # With proof logging on, an import is only accepted if it
+                # is RUP against *this* solver's database: validated
+                # imports are logged as derivations ("a"), so the checker
+                # never has to trust the peer.  A clause that fails the
+                # check is skipped -- that only costs pruning power.
+                if not self._rup_check(clause):
+                    rejected += 1
+                    continue
+                self._proof_tag = "a"
+            try:
+                ok = self.add_clause(clause, activation=activation)
+            finally:
+                if proof:
+                    self._proof_tag = "i"
+            if not ok:
                 break
             count += 1
         if count:
             _SHARED_CLAUSES.inc(count, direction="imported")
+        if rejected:
+            _SHARED_CLAUSES.inc(rejected, direction="rejected")
         return count

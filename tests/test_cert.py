@@ -1,0 +1,663 @@
+"""Tests for certified verdicts (repro.cert + the engine degrade rung).
+
+Four layers, mirroring the trust chain:
+
+* the pure-Python DRAT checker rejects forged, truncated, and
+  model-corrupting mutations (the checker itself must not be gameable);
+* the seeded solver-soundness mutation -- polarity-blind subsumption
+  re-enabled by monkeypatching ``repro.solver.preprocess._subsumes`` --
+  flips a crafted UNSAT instance to SAT, and certification catches it;
+* certify-full verdicts are byte-identical to uncertified ones on the
+  fuzz corpus (certification observes, never decides);
+* the scheduler's certification rung quarantines a failed certificate,
+  re-solves on the conservative recipe, surfaces the verdict divergence
+  in the manifest, and never caches an uncaught failure -- end to end
+  through the real :class:`JobScheduler`.
+
+Plus the backward-compat pin: a cache entry written before this PR
+(committed fixture, no ``certificate`` keys anywhere) still loads as a
+valid hit with ``certificate=None`` and an unchanged format version.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import shutil
+from dataclasses import dataclass, replace
+
+import pytest
+
+import repro.solver.preprocess as preprocess_mod
+from repro.cert import (
+    CertifyPolicy,
+    certificate_failed,
+    payload_digest,
+    verify_certificate_digest,
+)
+from repro.cert.drat import check_proof, verify_model
+from repro.engine import EngineConfig, JobScheduler, ProofCache
+from repro.engine.cache import CACHE_FORMAT_VERSION
+from repro.engine.specs import ReachJob, reach_jobs_for_corpus
+from repro.fuzz.campaign import load_reproducer
+from repro.fuzz.gen import build_design
+from repro.mc import BmcContext
+from repro.mc.kinduction import prove_unreachable_kinduction
+from repro.mc.outcomes import REACHABLE, UNREACHABLE, CheckResult
+from repro.props import Eventually, Query, sig
+from repro.solver.sat import SAT, UNSAT, SatSolver
+
+CORPUS = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+FULL = CertifyPolicy.from_mode("full")
+
+
+def _corpus_paths(limit=None):
+    paths = sorted(glob.glob(os.path.join(CORPUS, "*.json")))
+    return paths[:limit] if limit else paths
+
+
+def _unsat_proof():
+    """A small real proof log: pigeonhole-ish UNSAT instance."""
+    s = SatSolver(preprocess=False, proof=True)
+    a, b, c = (s.new_var() for _ in range(3))
+    s.add_clause([a, b])
+    s.add_clause([a, -b, c])
+    s.add_clause([-a, c])
+    s.add_clause([-c, b])
+    s.add_clause([-b, -c])
+    assert s.solve() == UNSAT
+    entries = list(s.proof_entries())
+    final = s.final_lemma()
+    assert final is not None
+    return entries, tuple(final)
+
+
+# --------------------------------------------------------- checker mutations
+class TestDratCheckerMutations:
+    def test_valid_proof_accepted(self):
+        entries, final = _unsat_proof()
+        outcome = check_proof(entries, final)
+        assert outcome.ok, outcome.detail
+
+    def test_forged_addition_rejected(self):
+        """A load-bearing non-RUP addition must fail its own check."""
+        # hand-build a log whose terminal lemma depends on a forged unit:
+        # inputs (a ∨ b), (¬a ∨ b); the forged addition (¬b) is NOT
+        # implied, yet makes the empty clause propagate
+        entries = [
+            ("i", (1, 2)),
+            ("i", (-1, 2)),
+            ("a", (-2,)),  # forged: not RUP against the inputs
+        ]
+        outcome = check_proof(entries, final=())
+        assert not outcome.ok
+        assert "not RUP" in outcome.detail or "not implied" in outcome.detail
+
+    def test_truncated_proof_rejected(self):
+        entries, final = _unsat_proof()
+        additions = [i for i, (tag, _) in enumerate(entries) if tag == "a"]
+        assert additions, "workload produced no learned clauses"
+        truncated = entries[: additions[0]]  # drop every derivation
+        outcome = check_proof(truncated, final)
+        assert not outcome.ok
+
+    def test_flipped_bit_model_rejected(self):
+        s = SatSolver(preprocess=False, proof=True)
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.add_clause([-a, b])
+        assert s.solve() == SAT
+        entries = list(s.proof_entries())
+        model = {v: s.model_value(v) for v in (a, b)}
+        ok, _ = verify_model(entries, model)
+        assert ok
+        flipped = dict(model)
+        flipped[b] = not flipped[b]  # b is forced true: flipping it lies
+        ok, detail = verify_model(entries, flipped)
+        assert not ok
+        assert "falsified" in detail
+
+    def test_budget_skip_is_not_a_failure(self):
+        entries, final = _unsat_proof()
+        outcome = check_proof(entries, final, max_seconds=0.0)
+        assert outcome.status in ("ok", "budget")
+        assert outcome.status != "failed"
+
+
+class TestWitnessMutations:
+    @pytest.fixture(scope="class")
+    def reachable_case(self):
+        """A corpus query that BMC answers REACHABLE with a certificate."""
+        for path in _corpus_paths():
+            design = build_design(load_reproducer(path))
+            for probe in design.probe_names:
+                ctx = BmcContext(design.netlist, horizon=4, certify=FULL)
+                result = ctx.check(
+                    Query("reach_%s" % probe, Eventually(sig(probe)))
+                )
+                cert = result.certificate
+                if result.outcome == REACHABLE and cert is not None:
+                    return design.netlist, probe, cert
+        pytest.skip("corpus produced no REACHABLE witness")
+
+    def test_witness_verified_and_digest_intact(self, reachable_case):
+        _netlist, _probe, cert = reachable_case
+        assert cert["kind"] == "witness"
+        assert cert["verified"] is True
+        assert verify_certificate_digest(cert)
+
+    def test_wrong_depth_replay_fails(self, reachable_case):
+        from repro.cert import replay_witness
+        from repro.props.views import ConcreteOps
+
+        netlist, probe, cert = reachable_case
+        payload = cert["payload"]
+        truncated = dict(payload, inputs=[], depth=0)
+        prop = Eventually(sig(probe))
+
+        def fires(view):
+            return bool(prop.evaluate(view, ConcreteOps))
+
+        # the full-depth replay fires; the zero-depth one cannot
+        assert replay_witness(netlist, payload, fires)
+        assert not replay_witness(netlist, truncated, fires)
+
+    def test_forged_payload_digest_mismatch(self, reachable_case):
+        _netlist, _probe, cert = reachable_case
+        forged = dict(cert, payload=dict(cert["payload"], depth=99))
+        assert not verify_certificate_digest(forged)
+
+
+# -------------------------------------------- seeded solver soundness mutation
+def _polarity_blind(small, big):
+    """The seeded mutation: subsumption that ignores literal polarity."""
+    big_vars = {lit >> 1 for lit in big}
+    return all((lit >> 1) in big_vars for lit in small)
+
+
+#: crafted instance: clauses (1∨2), (1∨¬2∨3), (2∨3) under assumptions
+#: (¬1, ¬3) -- cleanly UNSAT; polarity-blind subsumption kills the
+#: clauses that block the all-false corner and the solver answers SAT
+_CRAFTED_CLAUSES = ((1, 2), (1, -2, 3), (2, 3))
+_CRAFTED_ASSUMPTIONS = (-1, -3)
+
+
+def _solve_crafted():
+    s = SatSolver(preprocess=True, proof=True)
+    top = max(abs(l) for clause in _CRAFTED_CLAUSES for l in clause)
+    variables = [s.new_var() for _ in range(top)]
+    for clause in _CRAFTED_CLAUSES:
+        s.add_clause([clause_lit for clause_lit in clause])
+    for v in variables:
+        s.freeze(v)
+    verdict = s.solve(list(_CRAFTED_ASSUMPTIONS))
+    return s, verdict
+
+
+class TestSeededSolverMutation:
+    def test_clean_solver_answers_unsat(self):
+        _s, verdict = _solve_crafted()
+        assert verdict == UNSAT
+
+    def test_mutation_flips_verdict_and_certification_catches_it(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(preprocess_mod, "_subsumes", _polarity_blind)
+        s, verdict = _solve_crafted()
+        assert verdict == SAT  # the soundness bug fires
+        model = {v: s.model_value(v) for v in (1, 2, 3)}
+        ok, detail = verify_model(s.proof_entries(), model)
+        assert not ok  # ...and the independent checker refutes the model
+        assert "falsified" in detail
+
+    def test_mutation_does_not_break_witness_replay_path(self, monkeypatch):
+        """Corpus REACHABLE witnesses still replay under the mutation:
+        replay uses the simulator, which the solver bug cannot touch."""
+        monkeypatch.setattr(preprocess_mod, "_subsumes", _polarity_blind)
+        for path in _corpus_paths(limit=2):
+            design = build_design(load_reproducer(path))
+            for probe in design.probe_names:
+                ctx = BmcContext(design.netlist, horizon=4, certify=FULL)
+                result = ctx.check(
+                    Query("reach_%s" % probe, Eventually(sig(probe)))
+                )
+                if result.certificate is not None:
+                    assert result.certificate["verified"] is not False
+
+
+# ------------------------------------------------------- certify-off parity
+class TestCertifyParity:
+    def test_full_matches_off_on_corpus(self):
+        """Certification must observe the verdict, never change it."""
+        for path in _corpus_paths(limit=3):
+            design = build_design(load_reproducer(path))
+            for probe in design.probe_names:
+                query = Query("reach_%s" % probe, Eventually(sig(probe)))
+                plain = BmcContext(design.netlist, horizon=4).check(query)
+                certified = BmcContext(
+                    design.netlist, horizon=4, certify=FULL
+                ).check(query)
+                assert (plain.outcome, plain.detail, plain.depth) == (
+                    certified.outcome,
+                    certified.detail,
+                    certified.depth,
+                ), "certify=full changed a BMC verdict for %s" % probe
+                if certified.outcome in (REACHABLE, UNREACHABLE):
+                    cert = certified.certificate
+                    assert cert is not None and cert["verified"] is not False
+
+    def test_kinduction_certificates_cover_both_legs(self):
+        for path in _corpus_paths():
+            design = build_design(load_reproducer(path))
+            for probe in design.probe_names:
+                if not design.netlist.registers:
+                    continue
+                proof = prove_unreachable_kinduction(
+                    design.netlist, sig(probe), k=2, certify=FULL
+                )
+                if proof.outcome != UNREACHABLE:
+                    continue
+                cert = proof.certificate
+                assert cert is not None
+                assert cert["kind"] == "drat"
+                assert cert["verified"] is True
+                assert set(cert["payload"]["legs"]) == {"base", "step"}
+                return
+        pytest.skip("corpus produced no UNREACHABLE induction proof")
+
+
+# ------------------------------------------------------ cache backward compat
+class TestCacheBackwardCompat:
+    FIXTURE = os.path.join(FIXTURES, "cache_entry_pre_cert.json")
+
+    def test_pre_cert_fixture_still_hits(self, tmp_path):
+        """An entry written before certificates existed stays a valid hit."""
+        with open(self.FIXTURE, "r", encoding="utf-8") as handle:
+            fixture = json.load(handle)
+        # the pin itself: the on-disk format was NOT bumped for
+        # certificates, so the fixture's version must still be current
+        assert fixture["format"] == CACHE_FORMAT_VERSION
+        assert "certificate" not in json.dumps(fixture)
+        cache = ProofCache(str(tmp_path))
+        dest = cache._path(fixture["key"])
+        os.makedirs(os.path.dirname(dest), exist_ok=True)
+        shutil.copyfile(self.FIXTURE, dest)
+        entry = cache.get(fixture["key"])
+        assert entry is not None, "pre-certificate entry must stay a hit"
+        results = [CheckResult.from_dict(r) for r in entry["results"]]
+        assert all(r.certificate is None for r in results)
+
+    def test_certified_and_uncertified_jobs_share_cache_keys(self):
+        job = ReachJob(design_json="{}", probe="p", design_label="d")
+        assert job.cache_key() == replace(job, certify="full").cache_key()
+        assert job.cache_key() == job.conservative().cache_key()
+
+    def test_verify_store_quarantines_refuted_certificates(self, tmp_path):
+        cache = ProofCache(str(tmp_path))
+        bad_cert = {
+            "kind": "witness",
+            "status": "failed",
+            "verified": False,
+            "digest": payload_digest({"depth": 0}),
+            "payload": {"depth": 0},
+        }
+        cache.put(
+            "badkey", "j1", {"v": 1},
+            [CheckResult("q", REACHABLE, "bmc", certificate=bad_cert).to_dict()],
+        )
+        cache.put(
+            "goodkey", "j2", {"v": 2},
+            [CheckResult("q", UNREACHABLE, "bmc").to_dict()],
+        )
+        report = cache.verify_store()
+        assert report["checked"] == 2
+        assert report["quarantined"] == 1
+        assert report["quarantined_by_reason"] == {"certificate_failed": 1}
+        assert cache.get("badkey") is None
+        assert cache.get("goodkey") is not None
+
+
+# --------------------------------------------------------- engine degrade rung
+@dataclass(frozen=True)
+class CertFailingJob:
+    """First solve yields a refuted certificate; the conservative recipe
+    yields a verified one with a *different* verdict (so the run records
+    a divergence)."""
+
+    job_id: str = "fake:certfail"
+    key: str = "certfail-key"
+    trusted: bool = False
+
+    def _result(self):
+        payload = {"depth": 1, "path": "conservative" if self.trusted else "fast"}
+        cert = {
+            "kind": "witness",
+            "status": "verified" if self.trusted else "failed",
+            "verified": bool(self.trusted),
+            "digest": payload_digest(payload),
+            "payload": payload,
+        }
+        outcome = UNREACHABLE if self.trusted else REACHABLE
+        return CheckResult("q", outcome, "fake", certificate=cert)
+
+    def execute(self):
+        return ("trusted" if self.trusted else "fast"), [self._result()]
+
+    def escalated(self, attempt, factor):
+        return self
+
+    def conservative(self):
+        return replace(self, trusted=True)
+
+    def cache_key(self):
+        return self.key
+
+    @staticmethod
+    def encode_value(value):
+        return value
+
+    @staticmethod
+    def decode_value(payload):
+        return payload
+
+    @staticmethod
+    def value_is_final(value):
+        return True
+
+
+@dataclass(frozen=True)
+class CertDeadEndJob(CertFailingJob):
+    """A failed certificate with no conservative recipe: uncaught."""
+
+    job_id: str = "fake:certdeadend"
+    key: str = "certdeadend-key"
+    conservative = None  # the degrade rung finds nothing callable
+
+
+class TestSchedulerDegradeRung:
+    def test_failed_certificate_is_resolved_conservatively(self, tmp_path):
+        engine = JobScheduler(EngineConfig(jobs=1, cache_dir=str(tmp_path)))
+        outcome = engine.run([CertFailingJob()])
+        manifest = outcome.manifest
+        # the conservative verdict wins; the campaign completes cleanly
+        assert outcome.results["fake:certfail"] == "trusted"
+        assert manifest.cert_failures == 1
+        assert manifest.cert_degraded_jobs == 1
+        assert manifest.cert_uncaught == 0
+        assert manifest.cert_divergences == [
+            {"query": "q", "original": REACHABLE, "conservative": UNREACHABLE}
+        ]
+        assert manifest.jobs_failed == 0
+        # the re-solved (trusted) verdict is cacheable...
+        engine2 = JobScheduler(EngineConfig(jobs=1, cache_dir=str(tmp_path)))
+        outcome2 = engine2.run([CertFailingJob()])
+        assert outcome2.manifest.cache_hits == 1
+        assert outcome2.results["fake:certfail"] == "trusted"
+
+    def test_uncaught_failure_is_surfaced_and_never_cached(self, tmp_path):
+        engine = JobScheduler(EngineConfig(jobs=1, cache_dir=str(tmp_path)))
+        outcome = engine.run([CertDeadEndJob()])
+        manifest = outcome.manifest
+        assert manifest.cert_failures == 1
+        assert manifest.cert_degraded_jobs == 0
+        assert manifest.cert_uncaught == 1
+        # an untrusted verdict must never become a future cache hit
+        engine2 = JobScheduler(EngineConfig(jobs=1, cache_dir=str(tmp_path)))
+        outcome2 = engine2.run([CertDeadEndJob()])
+        assert outcome2.manifest.cache_hits == 0
+        assert outcome2.manifest.cert_uncaught == 1
+
+    def test_failure_bundles_dumped_for_ci(self, tmp_path, monkeypatch):
+        art_dir = tmp_path / "artifacts"
+        monkeypatch.setenv("REPRO_CERT_ARTIFACTS", str(art_dir))
+        JobScheduler(EngineConfig(jobs=1)).run([CertFailingJob()])
+        bundles = list(art_dir.glob("cert-failure-*.json"))
+        assert bundles, "failing bundle was not written"
+        with open(bundles[0], "r", encoding="utf-8") as handle:
+            bundle = json.load(handle)
+        assert bundle["failures"][0]["certificate"]["verified"] is False
+
+    def test_manifest_summary_mentions_certification(self):
+        outcome = JobScheduler(EngineConfig(jobs=1)).run([CertFailingJob()])
+        text = outcome.manifest.summary()
+        assert "certification failure" in text
+        assert "re-solved" in text
+
+
+class TestEndToEndCertifiedCampaign:
+    def test_corpus_campaign_full_certify_clean(self, tmp_path):
+        """Certified corpus campaign: checked certs, zero failures, and a
+        warm-cache replay that re-verifies them on read-through."""
+        jobs = reach_jobs_for_corpus(CORPUS, certify="full")[:6]
+        engine = JobScheduler(EngineConfig(jobs=1, cache_dir=str(tmp_path)))
+        stats_outcome = engine.run(jobs)
+        manifest = stats_outcome.manifest
+        assert manifest.cert_checked > 0
+        assert manifest.cert_failures == 0
+        assert manifest.cert_uncaught == 0
+        engine2 = JobScheduler(EngineConfig(jobs=1, cache_dir=str(tmp_path)))
+        replayed = engine2.run(jobs)
+        assert replayed.manifest.cache_hits == len(jobs)
+        assert replayed.manifest.cert_checked == manifest.cert_checked
+        assert replayed.results == stats_outcome.results
+        assert replayed.manifest.cache_quarantined == 0
+
+    def test_uncertified_manifest_keeps_pre_cert_shape(self, tmp_path):
+        jobs = reach_jobs_for_corpus(CORPUS)[:2]
+        outcome = JobScheduler(
+            EngineConfig(jobs=1, cache_dir=str(tmp_path))
+        ).run(jobs)
+        payload = outcome.manifest.to_dict()
+        assert not any(k.startswith("cert") for k in payload)
+
+
+# ------------------------------------------------------------- wire protocol
+class TestWireCertificates:
+    class _Job:
+        job_id = "wire:j1"
+
+    def _report(self, cert):
+        from repro.engine.scheduler import WorkerReport
+
+        result = CheckResult("q", UNREACHABLE, "bmc", certificate=cert)
+        return WorkerReport(job_id="wire:j1", value=None, results=[result])
+
+    def _cert(self, entries=1):
+        payload = {
+            "legs": {
+                "proof": {
+                    "entries": [["i", [i + 1, -(i + 2)]] for i in range(entries)],
+                    "final": [],
+                }
+            }
+        }
+        return {
+            "kind": "drat",
+            "status": "verified",
+            "verified": True,
+            "digest": payload_digest(payload),
+            "payload": payload,
+        }
+
+    def test_round_trip_preserves_certificates(self):
+        from repro.dist import protocol
+
+        wire = protocol.report_to_wire(self._report(self._cert()), self._Job())
+        back = protocol.report_from_wire(
+            json.loads(json.dumps(wire)), self._Job()
+        )
+        assert back.results[0].certificate == self._cert()
+        assert back.cert_failures == 0
+
+    def test_oversized_certificate_degrades_to_digest_only(self, monkeypatch):
+        from repro.dist import protocol
+
+        cert = self._cert(entries=300)
+        report = self._report(cert)
+        monkeypatch.setattr(
+            protocol, "MAX_FRAME_BYTES", protocol._FRAME_MARGIN + 2000
+        )
+        wire = protocol.report_to_wire(report, self._Job())
+        degraded = wire["results"][0]["certificate"]
+        assert degraded["payload"] is None
+        assert degraded["payload_dropped"] is True
+        assert degraded["digest"] == cert["digest"]
+        assert verify_certificate_digest(degraded)
+        # the worker's in-memory bundle is untouched
+        assert report.results[0].certificate["payload"] is not None
+        # ...and the degraded frame actually fits
+        protocol.encode_frame({"type": "result", "report": wire})
+
+    def test_arrival_spot_check_demotes_corrupt_bundle(self):
+        from repro.dist import protocol
+
+        wire = protocol.report_to_wire(self._report(self._cert()), self._Job())
+        tampered = json.loads(json.dumps(wire))
+        tampered["results"][0]["certificate"]["payload"]["legs"]["proof"][
+            "final"
+        ] = [7]
+        back = protocol.report_from_wire(tampered, self._Job())
+        cert = back.results[0].certificate
+        assert cert["verified"] is False
+        assert cert["detail"] == "wire digest mismatch"
+        assert certificate_failed(back.results[0])
+        assert back.cert_uncaught == 1
+
+    def test_pre_cert_wire_report_decodes(self):
+        from repro.dist import protocol
+
+        wire = protocol.report_to_wire(self._report(None), self._Job())
+        assert "cert_failures" not in wire  # zero accounting stays off-wire
+        back = protocol.report_from_wire(wire, self._Job())
+        assert back.cert_failures == 0 and back.cert_uncaught == 0
+
+
+# -------------------------------------------------------------------- policy
+class TestCertifyPolicy:
+    def test_modes(self):
+        assert not CertifyPolicy.from_mode("off").enabled
+        assert CertifyPolicy.from_mode("spot").enabled
+        assert CertifyPolicy.from_mode("full").should_check_proof("anything")
+        with pytest.raises(ValueError):
+            CertifyPolicy.from_mode("sometimes")
+
+    def test_spot_sampling_is_deterministic(self):
+        spot = CertifyPolicy.from_mode("spot")
+        names = ["q%d" % i for i in range(64)]
+        picks = [n for n in names if spot.should_check_proof(n)]
+        assert picks == [n for n in names if spot.should_check_proof(n)]
+        assert 0 < len(picks) < len(names)
+
+    def test_undetermined_never_certified(self):
+        """A budget-starved solve yields UNDETERMINED with no certificate."""
+        for path in _corpus_paths():
+            design = build_design(load_reproducer(path))
+            for probe in design.probe_names:
+                ctx = BmcContext(
+                    design.netlist, horizon=4, conflict_budget=1, certify=FULL
+                )
+                result = ctx.check(
+                    Query("reach_%s" % probe, Eventually(sig(probe)))
+                )
+                if result.outcome not in (REACHABLE, UNREACHABLE):
+                    assert result.certificate is None
+                    return
+        pytest.skip("conflict_budget=1 still decided every corpus query")
+
+
+# ---------------------------------------------------- cover-witness replay
+class TestCoverWitnessCertificates:
+    """Enumerative cover verdicts certify by context replay (DESIGN SS5j)."""
+
+    @pytest.fixture(scope="class")
+    def certified_synthesis(self, core_design, core_provider):
+        from repro.core.rtl2mupath import Rtl2MuPath, Rtl2MuPathConfig
+
+        tool = Rtl2MuPath(
+            core_design,
+            core_provider,
+            config=Rtl2MuPathConfig(certify="full"),
+        )
+        result = tool.synthesize("ADD")
+        return tool, result
+
+    def test_full_mode_covers_carry_verified_certs(self, certified_synthesis):
+        tool, _result = certified_synthesis
+        covers = [
+            r for r in tool.stats.results
+            if r.certificate is not None
+            and r.certificate["kind"] == "cover-witness"
+        ]
+        assert covers, "full mode produced no cover-witness certificates"
+        for r in covers:
+            assert r.outcome == REACHABLE  # only witnessed verdicts certify
+            assert r.certificate["verified"] is True
+            assert verify_certificate_digest(r.certificate)
+        # no finite witness exists for enumerative UNREACHABLE/UNDETERMINED
+        assert all(
+            r.certificate is None
+            for r in tool.stats.results
+            if r.outcome != REACHABLE
+        )
+
+    def test_off_mode_covers_carry_none(self, mupath_tool, mupath_add):
+        assert all(r.certificate is None for r in mupath_tool.stats.results)
+
+    def test_parity_with_uncertified_run(
+        self, certified_synthesis, mupath_add
+    ):
+        _tool, result = certified_synthesis
+        assert {u.pl_set for u in result.upaths} == {
+            u.pl_set for u in mupath_add.upaths
+        }
+
+    def test_tampered_cover_witness_fails(self, core_design, core_provider):
+        from repro.core.mhb import CycleAccuratePath
+        from repro.core.rtl2mupath import VisitIndex, _CoverCertifier
+        from repro.mc.enumerative import TraceDB
+
+        group = core_provider.mupath_groups("ADD")[0]
+        db = TraceDB(core_design.netlist, group.contexts, group.complete)
+        index = VisitIndex(db, core_design.metadata, group.iuv_pc)
+        certifier = _CoverCertifier(
+            core_design.netlist, core_design.metadata.pls, FULL
+        )
+        certifier.add_index(db, index)
+        witness = next(p for p in index.paths if p.pl_set)
+        pred = lambda p, want=witness.pl_set: want <= p.pl_set
+
+        good = certifier.certify("cover_ok", witness, pred)
+        assert good["verified"] is True
+
+        # forge the witness: claim one extra visit cycle the replayed
+        # context does not reproduce
+        doctored = CycleAccuratePath(
+            iuv=witness.iuv,
+            visits=witness.visits + (frozenset({"IF"}),),
+        )
+        certifier._src[doctored] = certifier._src[witness]
+        bad = certifier.certify("cover_forged", doctored, pred)
+        assert bad["verified"] is False
+        assert certificate_failed(bad)
+
+    def test_spot_mode_samples_covers(self, core_design, core_provider):
+        from repro.core.rtl2mupath import Rtl2MuPath, Rtl2MuPathConfig
+
+        tool = Rtl2MuPath(
+            core_design,
+            core_provider,
+            config=Rtl2MuPathConfig(certify="spot"),
+        )
+        tool.synthesize("ADD")
+        certs = [
+            r.certificate
+            for r in tool.stats.results
+            if r.certificate is not None
+        ]
+        reachable = [r for r in tool.stats.results if r.outcome == REACHABLE]
+        assert certs, "spot mode sampled no covers"
+        assert len(certs) < len(reachable)
+        assert all(c["verified"] is True for c in certs)
