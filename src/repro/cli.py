@@ -106,6 +106,27 @@ Commands:
 
   Exit status 1 when any oracle disagreement was found.
 
+* ``perf`` -- compile the μPATH-derived performance model for a case-
+  study core and fuzz it differentially against :mod:`repro.sim`:
+  seeded straight-line sequences run through both the cycle predictor
+  and the RTL simulator, every cycle-count divergence classified as a
+  perf-model bug or a missed μPATH (a completeness check on the
+  synthesis), shrunk, and written to ``--out``.  Prints the per-
+  instruction timing-variability table (the SynthLC cross-check) and
+  the predicted stall-cycle breakdown per hazard class.  Flags:
+
+  * ``--design NAME`` -- ``core`` (baseline), ``cva6-mul`` (zero-skip
+    multiplier), or ``fixed`` (default ``core``);
+  * ``--xlen N`` -- datapath width (default 4);
+  * ``--seed N`` / ``--budget SECS`` / ``--max-sequences N`` -- campaign
+    size controls;
+  * ``--out DIR`` -- reproducer directory (default ``perf-out``);
+  * ``--no-shrink`` -- write unshrunk reproducers;
+  * ``--trace FILE`` / ``--metrics FILE`` -- telemetry, as for ``fuzz``.
+
+  Exit status 1 when any mismatch was found (unclassified mismatches
+  are always fatal; CI gates on them).
+
 * ``profile TRACE`` -- analyze a ``--trace`` JSONL file: per-phase and
   per-instruction time breakdowns, hotspot ranking, and the checker-time
   reconciliation against the run's property statistics.  Flags:
@@ -649,6 +670,72 @@ def cmd_fuzz(args):
     return 0 if result.ok else 1
 
 
+def cmd_perf(args):
+    import json
+    import os
+
+    from . import obs
+    from .designs import build_core, build_cva6_mul, build_fixed_core
+    from .designs.core import CoreConfig
+    from .designs.harness import STRAIGHT_LINE_POOL
+    from .engine.telemetry import TelemetryLog
+    from .obs import get_registry
+    from .obs.tracer import Tracer
+    from .perf import (
+        PerfCampaignConfig,
+        collect_upath_summaries,
+        compile_model,
+        run_perf_campaign,
+    )
+    from .report import stall_breakdown_report, timing_variability_report
+
+    builders = {
+        "core": lambda: build_core(CoreConfig(xlen=args.xlen)),
+        "cva6-mul": lambda: build_cva6_mul(xlen=args.xlen),
+        "fixed": lambda: build_fixed_core(xlen=args.xlen),
+    }
+    config = PerfCampaignConfig(
+        seed=args.seed,
+        budget_seconds=args.budget,
+        out_dir=args.out,
+        max_sequences=args.max_sequences,
+        shrink=not args.no_shrink,
+    )
+    tracer = None
+    log = None
+    if args.trace:
+        log = TelemetryLog(args.trace)
+        tracer = Tracer(sink=log.event)
+        obs.activate(tracer)
+    try:
+        design = builders[args.design]()
+        summaries = collect_upath_summaries(
+            design, ["ADD", "MUL", "DIV", "DIVU", "LW", "SW"]
+        )
+        model = compile_model(design, summaries, names=STRAIGHT_LINE_POOL)
+        result = run_perf_campaign(design, model, config)
+    finally:
+        if tracer is not None:
+            obs.deactivate(tracer)
+        if log is not None:
+            log.close()
+        if args.metrics:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(get_registry().to_prometheus())
+    os.makedirs(config.out_dir, exist_ok=True)
+    summary_path = os.path.join(config.out_dir, "summary.json")
+    with open(summary_path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(timing_variability_report(model))
+    print()
+    print(stall_breakdown_report(result.predicted_stalls))
+    print()
+    print(result.summary())
+    print("summary: %s" % summary_path)
+    return 0 if result.ok else 1
+
+
 def cmd_profile(args):
     import json
 
@@ -915,6 +1002,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", default=None, metavar="FILE",
                    help="dump Prometheus text-format metrics at campaign end")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "perf",
+        help="differential cycle-count oracle: μPATH-derived predictor "
+             "vs RTL simulation",
+    )
+    p.add_argument("--design", choices=("core", "cva6-mul", "fixed"),
+                   default="core",
+                   help="case-study core variant (default core)")
+    p.add_argument("--xlen", type=int, default=4,
+                   help="datapath width in bits (default 4)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    p.add_argument("--budget", type=float, default=30.0,
+                   help="wall-clock budget in seconds (default 30)")
+    p.add_argument("--max-sequences", type=int, default=None, metavar="N",
+                   help="stop after N sequences even if budget remains")
+    p.add_argument("--out", default="perf-out", metavar="DIR",
+                   help="directory for shrunk reproducers (default perf-out)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="write reproducers without delta-debugging them")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="JSONL span telemetry (readable by 'repro profile')")
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="dump Prometheus text-format metrics at campaign end")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser(
         "profile",

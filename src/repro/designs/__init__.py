@@ -8,8 +8,15 @@ from .harness import (
     ContextFamilyConfig,
     ContextGroup,
     CoreContextProvider,
+    OPERAND_CLASSES,
+    ProgramRun,
+    STRAIGHT_LINE_POOL,
     TaintSpec,
+    golden_model,
+    golden_steps,
     program_driver_factory,
+    run_program,
+    sample_sequence,
     slot_pc,
 )
 
@@ -32,4 +39,11 @@ __all__ = [
     "TaintSpec",
     "program_driver_factory",
     "slot_pc",
+    "STRAIGHT_LINE_POOL",
+    "OPERAND_CLASSES",
+    "golden_model",
+    "golden_steps",
+    "ProgramRun",
+    "run_program",
+    "sample_sequence",
 ]

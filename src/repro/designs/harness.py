@@ -21,6 +21,7 @@ to UNDETERMINED exactly like a resource-limited model checker.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -36,6 +37,15 @@ __all__ = [
     "CoreContextProvider",
     "FIRST_PC",
     "slot_pc",
+    "STRAIGHT_LINE_POOL",
+    "OPERAND_CLASSES",
+    "golden_model",
+    "golden_steps",
+    "GoldenStep",
+    "ProgramRun",
+    "run_program",
+    "sample_operand",
+    "sample_sequence",
 ]
 
 FIRST_PC = 4  # fetch_pc reset value: the first accepted instruction's PC
@@ -136,6 +146,314 @@ def program_driver_factory(
         return driver
 
     return factory
+
+
+# ------------------------------------------------------- program execution
+#
+# Shared straight-line program machinery: the cosim suite, the assembler
+# tests, and the perf oracle all run seeded instruction sequences against
+# the core and compare with the architectural reference below.
+
+# straight-line instruction pool (no branches/jumps/system: all commit)
+STRAIGHT_LINE_POOL: Tuple[str, ...] = (
+    "ADD", "SUB", "XOR", "OR", "AND", "SLT", "SLTU", "SLL", "SRL",
+    "ADDI", "XORI", "ORI", "ANDI", "SLTI", "SLLI", "SRLI",
+    "LUI", "AUIPC", "CSRRW", "CSRRWI", "FENCE",
+    "MUL", "MULH", "MULW",
+    "DIV", "DIVU", "REM", "REMU",
+    "LW", "LB", "LHU",
+    "SW", "SB",
+)
+
+
+@dataclass(frozen=True)
+class GoldenStep:
+    """One retired instruction in the architectural reference execution."""
+
+    slot: int
+    pc: int
+    name: str
+    cls: str
+    rd: int
+    rs1: int
+    rs2: int
+    imm: int
+    a: int  # rs1 operand value (0 when unread)
+    b: int  # rs2 operand value (0 when unread)
+    result: Optional[int]
+    addr: Optional[int]  # load/store effective address
+
+
+def golden_steps(
+    program: Sequence[int],
+    arf_init: Sequence[int],
+    *,
+    xlen: int = 8,
+    mem_words: int = 4,
+    pc_bits: int = 8,
+) -> Tuple[List[GoldenStep], List[int], List[int]]:
+    """Instruction-at-a-time reference execution of a straight-line program.
+
+    Returns ``(steps, arf, mem)``.  Only the straight-line classes (the
+    instructions in :data:`STRAIGHT_LINE_POOL`) are supported: with no
+    control flow every instruction commits, so sequential semantics are
+    exactly the core's architectural semantics.
+    """
+    mask = (1 << xlen) - 1
+    half = 1 << (xlen - 1)
+    arf = [v & mask for v in arf_init]
+    mem = [0] * mem_words
+    steps: List[GoldenStep] = []
+
+    def signed(x):
+        return x - (1 << xlen) if x >= half else x
+
+    for slot, word in enumerate(program):
+        instr = isa.decode(word)
+        spec = instr.spec
+        pc = slot_pc(slot) & ((1 << pc_bits) - 1)
+        a = arf[instr.rs1] if spec.reads_rs1 else 0
+        b = arf[instr.rs2] if spec.reads_rs2 else 0
+        imm = instr.imm
+        result = None
+        addr = None
+        if spec.cls == "alu":
+            operand_b = imm if spec.alu_op in (
+                "addi", "slti", "xori", "ori", "andi", "slli", "srli"
+            ) else b
+            op = spec.alu_op
+            if op in ("add", "addi"):
+                result = (a + operand_b) & mask
+            elif op == "sub":
+                result = (a - operand_b) & mask
+            elif op in ("xor", "xori"):
+                result = a ^ operand_b
+            elif op in ("or", "ori"):
+                result = a | operand_b
+            elif op in ("and", "andi"):
+                result = a & operand_b
+            elif op in ("slt", "slti"):
+                result = int(signed(a) < signed(operand_b))
+            elif op == "sltu":
+                result = int(a < operand_b)
+            elif op in ("sll", "slli"):
+                result = (a << (operand_b & 7)) & mask
+            elif op in ("srl", "srli"):
+                result = a >> (operand_b & 7)
+            elif op == "lui":
+                result = (imm << (xlen - 4)) & mask
+            elif op == "auipc":
+                result = ((pc & ((1 << min(xlen, pc_bits)) - 1)) + imm) & mask
+            elif op == "csr":
+                result = a
+            elif op == "csri":
+                result = imm
+            elif op == "nop":
+                result = 0
+        elif spec.cls == "mul":
+            result = (a * b) & mask
+        elif spec.cls == "div":
+            # the scaled core computes all div/rem variants unsigned
+            if b == 0:
+                q, r = mask, a
+            else:
+                q, r = a // b, a % b
+            result = r if spec.name.startswith("REM") else q
+        elif spec.cls == "load":
+            addr = (a + imm) & mask
+            result = mem[addr % mem_words]
+        elif spec.cls == "store":
+            addr = (a + imm) & mask
+            mem[addr % mem_words] = b
+        else:
+            raise ValueError(
+                "golden model only supports straight-line classes, got %s"
+                % spec.name
+            )
+        if spec.writes_rd and instr.rd != 0 and result is not None:
+            arf[instr.rd] = result
+        steps.append(
+            GoldenStep(
+                slot=slot, pc=pc, name=spec.name, cls=spec.cls,
+                rd=instr.rd, rs1=instr.rs1, rs2=instr.rs2, imm=imm,
+                a=a, b=b, result=result, addr=addr,
+            )
+        )
+    return steps, arf, mem
+
+
+def golden_model(
+    program: Sequence[int],
+    arf_init: Sequence[int],
+    *,
+    xlen: int = 8,
+    mem_words: int = 4,
+    pc_bits: int = 8,
+) -> Tuple[List[int], List[int]]:
+    """Architectural reference: returns (arf, mem) after the program."""
+    _, arf, mem = golden_steps(
+        program, arf_init, xlen=xlen, mem_words=mem_words, pc_bits=pc_bits
+    )
+    return arf, mem
+
+
+@dataclass
+class ProgramRun:
+    """One program execution on the simulated core."""
+
+    arf: List[int]
+    mem: List[int]
+    cycles: int  # cycle index of the first post-program quiescent observation
+    retire: Dict[int, int]  # committed PC -> commit-observation cycle
+    trace: Optional[object] = None  # repro.sim.Trace when recorded
+
+
+def run_program(
+    sim,
+    program: Sequence[int],
+    arf_init: Optional[Sequence[int]] = None,
+    *,
+    max_cycles: int = 4000,
+    record_trace: bool = False,
+) -> ProgramRun:
+    """Feed ``program`` through the fetch handshake and run to quiescence.
+
+    ``sim`` is a :class:`repro.sim.Simulator` over a core netlist.  The
+    driver replays each word until ``fetch_ready`` accepts it (the same
+    handshake :func:`program_driver_factory` implements) and stops at the
+    first ``pipe_quiesce`` observation after the last accept.  Per-
+    instruction retire timestamps come from the commit port: the cycle
+    each ``commit_pc`` is observed with ``commit_fire`` high.
+    """
+    overrides = {}
+    if arf_init is not None:
+        overrides = {
+            "arf_w%d" % i: v for i, v in enumerate(arf_init) if i
+        }
+    sim.reset(overrides)
+    program = list(program)
+
+    retire: Dict[int, int] = {}
+    trace = None
+    ptr = 0
+    last_accept = -1
+    cycles = None
+    if record_trace:
+        from ..sim import Trace
+
+        trace = Trace(sim.observable_names)
+        for t in range(max_cycles):
+            inputs = {}
+            if ptr < len(program):
+                inputs = {"in_valid": 1, "in_instr": program[ptr]}
+            obs = sim.step(inputs)
+            trace.append(obs, {})
+            if ptr < len(program) and obs["fetch_ready"]:
+                ptr += 1
+                last_accept = t
+            if obs["commit_fire"]:
+                retire.setdefault(obs["commit_pc"], t)
+            if ptr >= len(program) and t > last_accept and obs["pipe_quiesce"]:
+                cycles = t
+                break
+    else:
+        i_ready = sim.observable_index("fetch_ready")
+        i_quiesce = sim.observable_index("pipe_quiesce")
+        i_fire = sim.observable_index("commit_fire")
+        i_pc = sim.observable_index("commit_pc")
+        for t in range(max_cycles):
+            inputs = None
+            if ptr < len(program):
+                inputs = {"in_valid": 1, "in_instr": program[ptr]}
+            obs = sim.step_tuple(inputs)
+            if ptr < len(program) and obs[i_ready]:
+                ptr += 1
+                last_accept = t
+            if obs[i_fire]:
+                retire.setdefault(obs[i_pc], t)
+            if ptr >= len(program) and t > last_accept and obs[i_quiesce]:
+                cycles = t
+                break
+    if cycles is None:
+        raise RuntimeError(
+            "program did not quiesce within %d cycles" % max_cycles
+        )
+    state = sim.state_dict()
+    arf = [state[name] for name in sorted(
+        (n for n in state if n.startswith("arf_w")),
+        key=lambda n: int(n[5:]),
+    )]
+    mem = [state[name] for name in sorted(
+        (n for n in state if n.startswith("amem_w")),
+        key=lambda n: int(n[6:]),
+    )]
+    return ProgramRun(arf=arf, mem=mem, cycles=cycles, retire=retire, trace=trace)
+
+
+# ------------------------------------------------- seeded sequence sampling
+
+#: operand-value classes the sequence sampler draws register inits from;
+#: together they cover every divider-latency class, both multiplier
+#: zero-skip arms, all low-bit page offsets, and negative (MSB-set) values
+OPERAND_CLASSES: Tuple[str, ...] = (
+    "zero", "one", "small", "pow2", "negative", "max", "any",
+)
+
+
+def sample_operand(rng: random.Random, xlen: int, classes: Sequence[str] = OPERAND_CLASSES) -> int:
+    """Draw one operand value from a named value class."""
+    mask = (1 << xlen) - 1
+    cls = classes[rng.randrange(len(classes))]
+    if cls == "zero":
+        return 0
+    if cls == "one":
+        return 1
+    if cls == "small":
+        return rng.randrange(4)
+    if cls == "pow2":
+        return 1 << rng.randrange(xlen)
+    if cls == "negative":
+        return (1 << (xlen - 1)) | rng.randrange(1 << (xlen - 1))
+    if cls == "max":
+        return mask
+    if cls == "any":
+        return rng.randrange(1 << xlen)
+    raise ValueError("unknown operand class %r" % cls)
+
+
+def sample_sequence(
+    seed: int,
+    *,
+    min_len: int = 1,
+    max_len: int = 8,
+    xlen: int = 8,
+    nregs: int = 8,
+    pool: Sequence[str] = STRAIGHT_LINE_POOL,
+    operand_classes: Sequence[str] = OPERAND_CLASSES,
+) -> Tuple[List[int], List[int]]:
+    """One seeded straight-line instruction sequence with operand control.
+
+    Returns ``(program_words, arf_init)``; deterministic in ``seed``.  The
+    register file is initialized from :data:`OPERAND_CLASSES` draws (x0
+    stays zero), which is what steers fuzzed sequences into every
+    operand-dependent timing class of the divider, the zero-skip
+    multiplier, and the store-to-load offset matcher.
+    """
+    rng = random.Random(seed)
+    length = rng.randint(min_len, max_len)
+    program = [
+        isa.encode(
+            pool[rng.randrange(len(pool))],
+            rd=rng.randrange(nregs),
+            rs1=rng.randrange(nregs),
+            rs2=rng.randrange(nregs),
+        )
+        for _ in range(length)
+    ]
+    arf_init = [0] + [
+        sample_operand(rng, xlen, operand_classes) for _ in range(nregs - 1)
+    ]
+    return program, arf_init
 
 
 def default_value_set(xlen: int) -> Tuple[int, ...]:

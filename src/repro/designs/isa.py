@@ -23,6 +23,7 @@ width, exactly as the paper's variants share leakage signatures per class.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 __all__ = [
@@ -206,8 +207,14 @@ def encode(name: str, rd: int = 0, rs1: int = 0, rs2: int = 0) -> int:
     return (spec.opcode << 9) | (rd << 6) | (rs1 << 3) | rs2
 
 
+@lru_cache(maxsize=None)
 def decode(word: int) -> Instr:
-    """Decode an instruction word; raises ``ValueError`` on bad opcodes."""
+    """Decode an instruction word; raises ``ValueError`` on bad opcodes.
+
+    Pure and memoized: words are 16 bits and :class:`Instr` is frozen, so
+    repeat decodes (the common case in long fuzzed programs) are a dict
+    hit.
+    """
     opcode = (word >> 9) & 0x7F
     if opcode >= len(INSTRUCTIONS):
         raise ValueError("invalid opcode %d" % opcode)

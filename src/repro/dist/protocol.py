@@ -155,6 +155,7 @@ def _builtin_job_types() -> None:
     register_job_type(specs.SynthesisJob)
     register_job_type(specs.SynthLCJob)
     register_job_type(specs.ReachJob)
+    register_job_type(specs.PerfJob)
     register_job_type(specs.DesignSpec)
     register_job_type(specs.ProviderSpec)
 

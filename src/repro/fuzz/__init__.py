@@ -43,7 +43,7 @@ from .oracle import (
     OracleReport,
     check_design,
 )
-from .shrink import shrink_spec
+from .shrink import ddmin_chunks, shrink_sequence, shrink_spec
 
 __all__ = [
     "MASK",
@@ -65,6 +65,8 @@ __all__ = [
     "OracleReport",
     "check_design",
     "shrink_spec",
+    "shrink_sequence",
+    "ddmin_chunks",
     "CampaignConfig",
     "CampaignResult",
     "run_campaign",

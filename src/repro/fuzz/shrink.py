@@ -23,12 +23,91 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 from .. import obs
 from .gen import DesignSpec, InputSpec, OpSpec, build_design
 
-__all__ = ["shrink_spec"]
+__all__ = ["shrink_spec", "shrink_sequence", "ddmin_chunks"]
+
+_T = TypeVar("_T")
+
+
+def ddmin_chunks(
+    length: int,
+    try_remove: Callable[[int, int], Optional[int]],
+    out_of_budget: Callable[[], bool],
+) -> bool:
+    """The greedy ddmin chunk loop shared by every shrinker here.
+
+    Sweeps chunk sizes from ``length // 2`` down to 1; at each size,
+    ``try_remove(start, size)`` either commits the removal (returning the
+    new item count) or returns ``None`` to advance past the chunk.
+    Returns whether any removal succeeded.
+    """
+    improved = False
+    size = max(1, length // 2)
+    while size >= 1 and not out_of_budget():
+        start = 0
+        while start < length:
+            new_length = try_remove(start, size)
+            if new_length is not None:
+                length = new_length
+                improved = True
+            else:
+                start += size
+        size //= 2
+    return improved
+
+
+def shrink_sequence(
+    items: Sequence[_T],
+    predicate: Callable[[List[_T]], bool],
+    *,
+    deadline_seconds: Optional[float] = None,
+    max_evals: int = 200,
+) -> List[_T]:
+    """Delta-debug a flat item list (e.g. an instruction program).
+
+    Greedy first-improvement ddmin with halving chunk granularity --
+    the same reduction loop :func:`shrink_spec` uses for op slots, reused
+    by the perf oracle to minimize mismatching instruction sequences.
+    Deterministic for a deterministic predicate; bounded by ``max_evals``
+    predicate runs and an optional wall-clock deadline.
+    """
+    started = time.monotonic()
+    evals = [0]
+    current = list(items)
+
+    def _out_of_budget() -> bool:
+        if evals[0] >= max_evals:
+            return True
+        return (deadline_seconds is not None
+                and time.monotonic() - started > deadline_seconds)
+
+    def _try_remove(start: int, size: int) -> Optional[int]:
+        if _out_of_budget():
+            return None
+        candidate = current[:start] + current[start + size:]
+        if len(candidate) == len(current):
+            return None
+        evals[0] += 1
+        try:
+            still_fails = predicate(candidate)
+        except Exception:
+            still_fails = False
+        if not still_fails:
+            return None
+        current[:] = candidate
+        return len(current)
+
+    with obs.span("fuzz.shrink", kind="sequence", items=len(current)) as sp:
+        improved = True
+        while improved and not _out_of_budget():
+            improved = ddmin_chunks(len(current), _try_remove, _out_of_budget)
+        sp.set("evals", evals[0])
+        sp.set("items_after", len(current))
+    return current
 
 
 def _remap_ops(spec: DesignSpec, start: int, count: int) -> Optional[DesignSpec]:
@@ -170,21 +249,21 @@ def shrink_spec(
 
     with obs.span("fuzz.shrink", design=spec.name) as sp:
         current = spec
+
+        def _try_remove_ops(start: int, size: int):
+            nonlocal current
+            candidate = _remap_ops(current, start, size)
+            if _try(candidate):
+                current = candidate
+                return len(current.ops)
+            return None
+
         improved = True
         while improved and not _out_of_budget():
-            improved = False
             # ddmin over op chunks, halving granularity
-            size = max(1, len(current.ops) // 2)
-            while size >= 1 and not _out_of_budget():
-                start = 0
-                while start < len(current.ops):
-                    candidate = _remap_ops(current, start, size)
-                    if _try(candidate):
-                        current = candidate
-                        improved = True
-                    else:
-                        start += size
-                size //= 2
+            improved = ddmin_chunks(
+                len(current.ops), _try_remove_ops, _out_of_budget
+            )
             # slot-stable reductions
             progress = True
             while progress and not _out_of_budget():

@@ -1,0 +1,76 @@
+"""repro.perf: the μPATH-derived performance model and its oracle.
+
+The paper's central object -- the complete set of μPATHs an instruction
+can execute -- doubles as a timing contract: unit-PL run lengths are
+latencies, shared-stage occupancy is structural hazard structure, and
+operand-dependent μPATH variants mark the data-dependent channels
+SynthLC classifies.  This package spends that contract three ways:
+
+* :mod:`repro.perf.model` -- compile synthesized μPATH sets into
+  per-instruction latency/occupancy tables plus hazard rules;
+* :mod:`repro.perf.predict` -- replay straight-line programs against
+  the tables with a cycle-exact scoreboard simulation;
+* :mod:`repro.perf.oracle` -- differential cycle-count fuzzing against
+  :mod:`repro.sim`, classifying every divergence as a perf-model bug or
+  a missed μPATH (a completeness check on the synthesis itself), with
+  delta-debugged JSON reproducers.
+
+Surfaced as ``python -m repro perf``.
+"""
+
+from .model import (
+    CLASS_REPRESENTATIVE,
+    HazardRule,
+    InstrTiming,
+    PERF_MODEL_VERSION,
+    PerfModel,
+    UPathSetSummary,
+    collect_upath_summaries,
+    compile_model,
+    mutate_latency,
+    operand_features,
+)
+from .oracle import (
+    CLASS_MISSED_UPATH,
+    CLASS_MODEL_BUG,
+    CLASS_UNCLASSIFIED,
+    PERF_REPRODUCER_VERSION,
+    PerfCampaignConfig,
+    PerfCampaignResult,
+    PerfMismatch,
+    check_sequence,
+    load_perf_reproducer,
+    run_perf_campaign,
+    shrink_mismatch,
+    write_perf_reproducer,
+)
+from .predict import STALL_CLASSES, PredictError, Prediction, predict_program
+
+__all__ = [
+    "PERF_MODEL_VERSION",
+    "PERF_REPRODUCER_VERSION",
+    "CLASS_REPRESENTATIVE",
+    "CLASS_MODEL_BUG",
+    "CLASS_MISSED_UPATH",
+    "CLASS_UNCLASSIFIED",
+    "HazardRule",
+    "InstrTiming",
+    "PerfModel",
+    "UPathSetSummary",
+    "collect_upath_summaries",
+    "compile_model",
+    "mutate_latency",
+    "operand_features",
+    "Prediction",
+    "PredictError",
+    "STALL_CLASSES",
+    "predict_program",
+    "PerfMismatch",
+    "PerfCampaignConfig",
+    "PerfCampaignResult",
+    "check_sequence",
+    "shrink_mismatch",
+    "run_perf_campaign",
+    "write_perf_reproducer",
+    "load_perf_reproducer",
+]

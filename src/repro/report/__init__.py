@@ -1,5 +1,10 @@
 """Reproduction reports: Fig. 8 matrix, Table II, SS VII-B3 statistics."""
 
+from .perf import (
+    stall_breakdown_report,
+    timing_variability_report,
+    timing_variability_rows,
+)
 from .fig8 import CLASS_REPRESENTATIVES, Fig8Matrix, build_fig8, class_members
 from .profile import render_profile
 from .tables import property_stats_report, render_table, table2_report
@@ -13,6 +18,9 @@ __all__ = [
     "class_members",
     "property_stats_report",
     "render_profile",
+    "stall_breakdown_report",
+    "timing_variability_report",
+    "timing_variability_rows",
     "render_table",
     "table2_report",
     "render_uspec_axiom",

@@ -43,6 +43,23 @@ class Trace:
     def column(self, signal):
         return [obs[signal] for obs in self.cycles]
 
+    def retire_times(
+        self, commit_signal: str = "commit_fire", pc_signal: str = "commit_pc"
+    ) -> Dict[int, int]:
+        """Per-instruction retire timestamps: committed PC -> cycle index.
+
+        On cores whose frontend numbers instructions by unique fetch PCs
+        (the case-study cores), this is the per-instruction cycle
+        accounting: each PC appears at most once on the commit port, so
+        the map records the cycle every retired instruction committed.
+        Flushed (never-committed) instructions are absent.
+        """
+        times: Dict[int, int] = {}
+        for cycle, obs in enumerate(self.cycles):
+            if obs.get(commit_signal):
+                times.setdefault(obs[pc_signal], cycle)
+        return times
+
 
 def _mask_expr(width):
     return (1 << width) - 1
@@ -157,8 +174,15 @@ class Simulator:
         self._reg_names = [reg.name for reg, _ in netlist.registers]
         self._input_names = [node.name for node in netlist.inputs]
         self._reset_values = tuple(reg.reset for reg, _ in netlist.registers)
+        self._obs_index = {
+            name: i for i, name in enumerate(self.observable_names)
+        }
         self.state = self._reset_values
         self.cycle = 0
+
+    def observable_index(self, name: str) -> int:
+        """Position of observable ``name`` in ``step_tuple`` results."""
+        return self._obs_index[name]
 
     def reset(self, overrides: Optional[Dict[str, int]] = None):
         """Return to the reset state; ``overrides`` sets named registers.

@@ -76,18 +76,17 @@ class TestProgram:
         assert len(words) == 2
 
     def test_executes_on_core(self, core_design):
-        from repro.designs import program_driver_factory
+        from repro.designs import run_program
         from repro.sim import Simulator
 
         words = assemble("ADDI x1, x0, 3\nADD x2, x1, x1")
         sim = Simulator(core_design.netlist)
-        sim.reset()
-        driver = program_driver_factory([("feed", tuple(words))])()
-        prev = None
-        for t in range(24):
-            prev = sim.step(driver(t, prev))
-        state = sim.state_dict()
-        assert state["arf_w1"] == 3 and state["arf_w2"] == 6
+        run = run_program(sim, words)
+        assert run.arf[1] == 3 and run.arf[2] == 6
+        # the dependent ADD retires after the ADDI it reads from
+        assert len(run.retire) == 2
+        first, second = sorted(run.retire.values())
+        assert second > first
 
 
 @given(

@@ -5,96 +5,26 @@ commits) run on the core; the final architectural state (ARF + memory)
 must match an instruction-at-a-time reference interpreter.  This checks
 the datapath, hazard handling, scoreboard write-back, store-buffer
 draining, and store-to-load ordering all at once.
+
+The reference interpreter and the program-to-quiescence runner live in
+:mod:`repro.designs.harness` (they are shared with the fuzz and perf
+oracles); this suite exercises them against the default 8-bit core.
 """
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.designs import build_core, isa, program_driver_factory, slot_pc
+from repro.designs import (
+    STRAIGHT_LINE_POOL,
+    build_core,
+    golden_model,
+    isa,
+    run_program,
+    sample_sequence,
+)
 from repro.sim import Simulator
 
-XLEN_MASK = 0xFF
 MEM_WORDS = 4
-
-# straight-line instruction pool (no branches/jumps/system: all commit)
-POOL = [
-    "ADD", "SUB", "XOR", "OR", "AND", "SLT", "SLTU", "SLL", "SRL",
-    "ADDI", "XORI", "ORI", "ANDI", "SLTI", "SLLI", "SRLI",
-    "LUI", "AUIPC", "CSRRW", "CSRRWI", "FENCE",
-    "MUL", "MULH", "MULW",
-    "DIV", "DIVU", "REM", "REMU",
-    "LW", "LB", "LHU",
-    "SW", "SB",
-]
-
-
-def golden(program, arf_init):
-    """Architectural reference: returns (arf, mem) after the program."""
-    arf = list(arf_init)
-    mem = [0] * MEM_WORDS
-
-    def signed(x):
-        return x - 256 if x >= 128 else x
-
-    for slot, word in enumerate(program):
-        instr = isa.decode(word)
-        spec = instr.spec
-        pc = slot_pc(slot)
-        a = arf[instr.rs1] if spec.reads_rs1 else 0
-        b = arf[instr.rs2] if spec.reads_rs2 else 0
-        imm = instr.imm
-        result = None
-        if spec.cls == "alu":
-            operand_b = imm if spec.alu_op in (
-                "addi", "slti", "xori", "ori", "andi", "slli", "srli"
-            ) else b
-            op = spec.alu_op
-            if op in ("add", "addi"):
-                result = (a + operand_b) & XLEN_MASK
-            elif op == "sub":
-                result = (a - operand_b) & XLEN_MASK
-            elif op in ("xor", "xori"):
-                result = a ^ operand_b
-            elif op in ("or", "ori"):
-                result = a | operand_b
-            elif op in ("and", "andi"):
-                result = a & operand_b
-            elif op in ("slt", "slti"):
-                result = int(signed(a) < signed(operand_b))
-            elif op == "sltu":
-                result = int(a < operand_b)
-            elif op in ("sll", "slli"):
-                result = (a << (operand_b & 7)) & XLEN_MASK
-            elif op in ("srl", "srli"):
-                result = a >> (operand_b & 7)
-            elif op == "lui":
-                result = (imm << 4) & XLEN_MASK
-            elif op == "auipc":
-                result = (pc + imm) & XLEN_MASK
-            elif op == "csr":
-                result = a
-            elif op == "csri":
-                result = imm
-            elif op == "nop":
-                result = 0
-        elif spec.cls == "mul":
-            result = (a * b) & XLEN_MASK
-        elif spec.cls == "div":
-            # the scaled core computes all div/rem variants unsigned
-            if b == 0:
-                q, r = XLEN_MASK, a
-            else:
-                q, r = a // b, a % b
-            result = r if spec.name.startswith("REM") else q
-        elif spec.cls == "load":
-            addr = (a + imm) & XLEN_MASK
-            result = mem[addr % MEM_WORDS]
-        elif spec.cls == "store":
-            addr = (a + imm) & XLEN_MASK
-            mem[addr % MEM_WORDS] = b
-        if spec.writes_rd and instr.rd != 0 and result is not None:
-            arf[instr.rd] = result
-    return arf, mem
 
 
 @pytest.fixture(scope="module")
@@ -107,23 +37,9 @@ def cosim_sim(cosim_design):
     return Simulator(cosim_design.netlist)
 
 
-def run_core(sim, program, arf_init, horizon=110):
-    overrides = {"arf_w%d" % i: v for i, v in enumerate(arf_init) if i}
-    sim.reset(overrides)
-    driver = program_driver_factory([("feed", tuple(program))])()
-    prev = None
-    for t in range(horizon):
-        prev = sim.step(driver(t, prev))
-    state = sim.state_dict()
-    assert prev["pipe_quiesce"] == 1, "program did not drain within horizon"
-    arf = [state["arf_w%d" % i] for i in range(8)]
-    mem = [state["amem_w%d" % i] for i in range(MEM_WORDS)]
-    return arf, mem
-
-
 program_strategy = st.lists(
     st.tuples(
-        st.sampled_from(POOL),
+        st.sampled_from(STRAIGHT_LINE_POOL),
         st.integers(0, 7),  # rd
         st.integers(0, 7),  # rs1
         st.integers(0, 7),  # rs2/imm
@@ -138,10 +54,20 @@ arf_strategy = st.tuples(*([st.just(0)] + [st.integers(0, 255)] * 7))
 @given(prog=program_strategy, arf_init=arf_strategy)
 def test_random_programs_match_golden_model(cosim_design, cosim_sim, prog, arf_init):
     program = [isa.encode(name, rd=rd, rs1=rs1, rs2=rs2) for name, rd, rs1, rs2 in prog]
-    got_arf, got_mem = run_core(cosim_sim, program, list(arf_init))
-    want_arf, want_mem = golden(program, list(arf_init))
-    assert got_arf == want_arf, (prog, arf_init)
-    assert got_mem == want_mem, (prog, arf_init)
+    run = run_program(cosim_sim, program, list(arf_init))
+    want_arf, want_mem = golden_model(program, list(arf_init))
+    assert run.arf == want_arf, (prog, arf_init)
+    assert run.mem == want_mem, (prog, arf_init)
+
+
+def test_seeded_sequences_match_golden_model(cosim_design, cosim_sim):
+    """The fuzz/perf sequence sampler agrees with the reference too."""
+    for seed in range(25):
+        program, arf_init = sample_sequence(seed)
+        run = run_program(cosim_sim, program, arf_init)
+        want_arf, want_mem = golden_model(program, arf_init)
+        assert run.arf == want_arf, seed
+        assert run.mem == want_mem, seed
 
 
 class TestDirectedCosim:
@@ -152,20 +78,18 @@ class TestDirectedCosim:
             isa.encode("MUL", rd=3, rs1=2, rs2=1),
             isa.encode("DIVU", rd=4, rs1=3, rs2=2),
         ]
-        got_arf, _ = run_core(cosim_sim, program, [0] * 8)
-        assert got_arf[1] == 5 and got_arf[2] == 10
-        assert got_arf[3] == 50 and got_arf[4] == 5
+        run = run_program(cosim_sim, program, [0] * 8)
+        assert run.arf[1] == 5 and run.arf[2] == 10
+        assert run.arf[3] == 50 and run.arf[4] == 5
 
     def test_store_then_load_roundtrip(self, cosim_design, cosim_sim):
         program = [
             isa.encode("SW", rs1=1, rs2=2),  # mem[(r1+2)%4] = r2
             isa.encode("LW", rd=3, rs1=1, rs2=2),  # r3 = same word
         ]
-        got_arf, got_mem = run_core(
-            cosim_sim, program, [0, 1, 0x77, 0, 0, 0, 0, 0]
-        )
-        assert got_arf[3] == 0x77
-        assert got_mem[(1 + 2) % 4] == 0x77
+        run = run_program(cosim_sim, program, [0, 1, 0x77, 0, 0, 0, 0, 0])
+        assert run.arf[3] == 0x77
+        assert run.mem[(1 + 2) % MEM_WORDS] == 0x77
 
     def test_two_stores_drain_in_order(self, cosim_design, cosim_sim):
         program = [
@@ -173,6 +97,12 @@ class TestDirectedCosim:
             isa.encode("SW", rs1=0, rs2=1),  # mem[1] = r1 again (same addr)
             isa.encode("ADDI", rd=1, rs1=0, rs2=7),
         ]
-        got_arf, got_mem = run_core(cosim_sim, program, [0, 0x21] + [0] * 6)
-        assert got_mem[1] == 0x21
-        assert got_arf[1] == 7
+        run = run_program(cosim_sim, program, [0, 0x21] + [0] * 6)
+        assert run.mem[1] == 0x21
+        assert run.arf[1] == 7
+
+    def test_retire_map_covers_every_instruction(self, cosim_design, cosim_sim):
+        program, arf_init = sample_sequence(7, min_len=4, max_len=6)
+        run = run_program(cosim_sim, program, arf_init)
+        assert len(run.retire) == len(program)
+        assert sorted(run.retire.values()) == list(run.retire.values())

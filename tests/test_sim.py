@@ -120,3 +120,70 @@ class TestTraceAndVcd:
         sim = Simulator(elaborate(m))
         trace = sim.run([{}] * 4)
         assert trace.column("x_val") == [0, 1, 2, 3]
+
+
+class TestRetireTimestamps:
+    """Per-instruction retire accounting via Trace.retire_times."""
+
+    @pytest.fixture(scope="class")
+    def core(self):
+        from repro.designs import build_core
+
+        design = build_core()
+        return design, Simulator(design.netlist)
+
+    def _run(self, core, program):
+        from repro.designs import run_program
+
+        _, sim = core
+        return run_program(sim, program, record_trace=True)
+
+    def test_back_to_back_alu_retires_every_cycle(self, core):
+        from repro.designs import isa, slot_pc
+
+        program = [
+            isa.encode("ADDI", rd=1, rs1=0, rs2=1),
+            isa.encode("ADDI", rd=2, rs1=0, rs2=2),
+            isa.encode("ADDI", rd=3, rs1=0, rs2=3),
+        ]
+        run = self._run(core, program)
+        times = run.trace.retire_times()
+        cycles = [times[slot_pc(slot)] for slot in range(3)]
+        # independent ALU ops stream through: one commit per cycle
+        assert cycles == [cycles[0], cycles[0] + 1, cycles[0] + 2]
+        assert run.retire == times  # ProgramRun exposes the same map
+
+    def test_raw_stall_delays_consumer_retire(self, core):
+        from repro.designs import isa, slot_pc
+
+        dep = [
+            isa.encode("ADDI", rd=1, rs1=0, rs2=7),
+            isa.encode("DIV", rd=2, rs1=1, rs2=1),  # RAW on x1
+        ]
+        indep = [
+            isa.encode("ADDI", rd=1, rs1=0, rs2=7),
+            isa.encode("DIV", rd=2, rs1=3, rs2=3),  # no dependence
+        ]
+        gap_dep = (lambda t: t[slot_pc(1)] - t[slot_pc(0)])(
+            self._run(core, dep).trace.retire_times()
+        )
+        gap_indep = (lambda t: t[slot_pc(1)] - t[slot_pc(0)])(
+            self._run(core, indep).trace.retire_times()
+        )
+        # the dependent divide waits in ID for the ADDI to commit
+        assert gap_dep > gap_indep
+
+    def test_flushed_instruction_never_retires(self, core):
+        from repro.designs import isa, slot_pc
+
+        program = [
+            isa.encode("ADDI", rd=1, rs1=0, rs2=3),
+            isa.encode("BEQ", rs1=0, rs2=0),  # taken: flushes younger
+            isa.encode("ADDI", rd=2, rs1=0, rs2=5),
+        ]
+        run = self._run(core, program)
+        times = run.trace.retire_times()
+        assert slot_pc(0) in times
+        assert slot_pc(1) in times  # the branch itself commits
+        assert slot_pc(2) not in times  # the squashed ADDI never does
+        assert run.arf[2] == 0
